@@ -1,0 +1,1 @@
+"""Benchmark suite: regenerates every table and figure (see DESIGN.md §4)."""

@@ -1,0 +1,45 @@
+"""Experiment F3 — Figure 3: block-transfer **latency**, approaches 1-3.
+
+Regenerates the latency-vs-size series of the paper's first §6 figure:
+one block transfer per data point, latency measured from the sender
+starting work to the receiver reading the completion message.
+
+Expected shape (from the paper's text): approach 1's per-message aP
+overhead makes it worst at scale but competitive for tiny transfers
+(no firmware round-trip); approaches 2 and 3 amortize their setup and
+win as size grows, with 3 ahead of 2.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.bench import FIG_SIZES, run_block_transfer
+
+HEADER = ["approach", "size_B", "latency_us", "verified"]
+
+
+@pytest.mark.parametrize("approach", [1, 2, 3])
+@pytest.mark.parametrize("size", FIG_SIZES)
+def test_fig3_latency(benchmark, approach, size):
+    result = benchmark.pedantic(
+        run_block_transfer, args=(approach, size), rounds=1, iterations=1
+    )
+    assert result.verified
+    row = [f"A{approach}", size, result.notify_latency_ns / 1000.0,
+           result.verified]
+    record("Figure 3: block transfer latency (us)", HEADER, row)
+
+
+def test_fig3_shape(benchmark):
+    """The series' shape: A1 best at 256 B, worst at 64 KB."""
+
+    def series():
+        small = {a: run_block_transfer(a, 256) for a in (1, 2, 3)}
+        large = {a: run_block_transfer(a, 65536) for a in (1, 2, 3)}
+        return small, large
+
+    small, large = benchmark.pedantic(series, rounds=1, iterations=1)
+    assert small[1].notify_latency_ns < small[2].notify_latency_ns
+    assert small[1].notify_latency_ns < small[3].notify_latency_ns
+    assert large[3].notify_latency_ns < large[2].notify_latency_ns
+    assert large[3].notify_latency_ns < large[1].notify_latency_ns

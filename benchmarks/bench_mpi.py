@@ -1,0 +1,96 @@
+"""Experiment X-mpi — library-layer scaling: mini-MPI collectives.
+
+Layer 0 exists so applications never touch the NIU directly; its cost
+must stay proportional to the point-to-point messages it issues.  These
+benches measure ping-pong vs payload (fragmentation) and collective
+completion time vs node count on the linear-algorithm collectives.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.bench import fresh_machine
+from repro.lib.mpi import MiniMPI
+
+HEADER = ["operation", "scale", "us"]
+
+
+def _pingpong(payload_bytes, repeats=10):
+    machine = fresh_machine(2)
+    mpi = MiniMPI(machine)
+    payload = bytes(payload_bytes)
+
+    def ping(api):
+        comm = mpi.rank(0)
+        for _ in range(repeats):
+            yield from comm.send(api, 1, payload)
+            yield from comm.recv(api, src=1)
+
+    def pong(api):
+        comm = mpi.rank(1)
+        for _ in range(repeats):
+            _s, _t, d = yield from comm.recv(api, src=0)
+            yield from comm.send(api, 0, d)
+
+    t0 = machine.now
+    machine.run_all([machine.spawn(0, ping), machine.spawn(1, pong)],
+                    limit=1e10)
+    return (machine.now - t0) / (2 * repeats) / 1000.0
+
+
+@pytest.mark.parametrize("payload", [8, 78, 256, 1024])
+def test_pingpong_fragmentation(benchmark, payload):
+    us = benchmark.pedantic(_pingpong, args=(payload,), rounds=1,
+                            iterations=1)
+    record("mini-MPI scaling", HEADER,
+           ["ping-pong one-way", f"{payload} B", us])
+
+
+def test_fragmentation_cost_linear(benchmark):
+    """Above one fragment (78 B) latency grows roughly linearly with the
+    fragment count, not worse."""
+
+    def run():
+        return _pingpong(78), _pingpong(4 * 78)
+
+    one, four = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert four < 6 * one  # 4 fragments cost < 6x one fragment
+
+
+def _collective(name, n_nodes):
+    machine = fresh_machine(n_nodes)
+    mpi = MiniMPI(machine)
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        if name == "barrier":
+            yield from comm.barrier(api)
+        elif name == "bcast":
+            yield from comm.bcast(
+                api, b"x" * 64 if rank == 0 else None, root=0)
+        elif name == "allreduce":
+            yield from comm.allreduce(api, rank + 1)
+
+    t0 = machine.now
+    procs = [machine.spawn(n, worker, n) for n in range(n_nodes)]
+    machine.run_all(procs, limit=1e10)
+    return (machine.now - t0) / 1000.0
+
+
+@pytest.mark.parametrize("name", ["barrier", "bcast", "allreduce"])
+@pytest.mark.parametrize("n_nodes", [2, 4, 8])
+def test_collectives(benchmark, name, n_nodes):
+    us = benchmark.pedantic(_collective, args=(name, n_nodes), rounds=1,
+                            iterations=1)
+    record("mini-MPI scaling", HEADER, [name, f"{n_nodes} nodes", us])
+
+
+def test_collective_scaling_linear(benchmark):
+    """The linear-tree collectives scale ~linearly in node count (the
+    expected cost of the simple algorithms, not a platform pathology)."""
+
+    def run():
+        return _collective("barrier", 2), _collective("barrier", 8)
+
+    two, eight = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert eight < 8 * two

@@ -1,0 +1,100 @@
+"""Experiment X-prio — transmit-queue priority arbitration (§4).
+
+"Arbitration between multiple transmit queues using a dynamically
+reconfigurable system register that specifies queue priorities."
+
+Two aP queues stream to one destination.  With equal priorities the
+round-robin arbiter splits service evenly; raising one queue's priority
+makes it drain strictly first whenever both hold messages.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.bench import fresh_machine
+from repro.mp.basic import BasicPort
+from repro.niu.niu import vdst_for
+
+HEADER = ["configuration", "queue", "drain_order_share"]
+COUNT = 24
+
+
+def _race(priorities):
+    """Pre-fill two tx queues, then let CTRL drain them; returns the
+    network delivery order.
+
+    The queues are composed directly in SRAM before the arbiter gets to
+    run (hardware-state setup, zero simulated time), so both queues hold
+    a backlog and the arbitration policy — not the compose rate — decides
+    who goes first.
+    """
+    from repro.niu.msgformat import MsgHeader, encode_header
+
+    machine = fresh_machine(2)
+    ctrl0 = machine.node(0).ctrl
+    ctrl0.sysregs.write("tx_priority.0", priorities[0])
+    ctrl0.sysregs.write("tx_priority.1", priorities[1])
+    ra = BasicPort(machine.node(1), 0, 0)
+    rb = BasicPort(machine.node(1), 1, 1)
+    asram = machine.node(0).niu.asram
+    for name, queue_idx, logical in (("A", 0, 0), ("B", 1, 1)):
+        q = ctrl0.tx_queues[queue_idx]
+        for i in range(COUNT // 2):
+            payload = (f"{name}{i:02d}").encode()
+            hdr = MsgHeader(vdst=vdst_for(1, logical), length=len(payload))
+            asram.poke(q.slot_offset(i), encode_header(hdr) + payload)
+        ctrl0.tx_producer_update(queue_idx, COUNT // 2)
+
+    # observe the arbiter directly: the order messages enter the TxU FIFO
+    # is CTRL's launch order (receive-side polling would interleave it)
+    launched = []
+    original_put = ctrl0.tx_fifo.put
+
+    def tapped_put(pkt):
+        launched.append(pkt.payload[:1].decode())
+        return original_put(pkt)
+
+    ctrl0.tx_fifo.put = tapped_put
+
+    def rcv(api, port, tag):
+        for _ in range(COUNT // 2):
+            yield from port.recv(api)
+
+    machine.run_all([machine.spawn(1, rcv, ra, "A"),
+                     machine.spawn(1, rcv, rb, "B")], limit=1e10)
+    return launched
+
+
+def test_equal_priorities_interleave(benchmark):
+    order = benchmark.pedantic(_race, args=((1, 1),), rounds=1, iterations=1)
+    first_half = order[: COUNT // 2]
+    share_a = first_half.count("A") / len(first_half)
+    record("Transmit priority arbitration", HEADER,
+           ["equal priorities", "A share of first half", share_a])
+    assert 0.25 < share_a < 0.75  # round-robin interleaves
+
+
+def test_prioritized_queue_drains_first(benchmark):
+    order = benchmark.pedantic(_race, args=((5, 0),), rounds=1, iterations=1)
+    first_half = order[: COUNT // 2]
+    share_b = first_half.count("B") / len(first_half)
+    record("Transmit priority arbitration", HEADER,
+           ["B prioritized", "B share of first half", share_b])
+    assert share_b > 0.8  # the high-priority queue dominates early service
+
+
+def test_reconfiguration_takes_effect_dynamically(benchmark):
+    """The register is 'dynamically reconfigurable': flipping it reverses
+    the winner."""
+
+    def run():
+        o1 = _race((5, 0))
+        o2 = _race((0, 5))
+        return o1, o2
+
+    o1, o2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    b_first = o1[: COUNT // 2].count("B") / (COUNT // 2)
+    a_first = o2[: COUNT // 2].count("A") / (COUNT // 2)
+    record("Transmit priority arbitration", HEADER,
+           ["flipped registers", "winner share", min(a_first, b_first)])
+    assert b_first > 0.8 and a_first > 0.8

@@ -1,0 +1,25 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark both wall-clock-times the simulation (pytest-benchmark)
+and prints the *simulated* metrics it regenerates — the rows/series of
+the paper's tables and figures.  Run with ``-s`` to see the tables
+inline; they are also summarized at session end.
+"""
+
+import pytest
+
+_rows = {}
+
+
+def record(table: str, header, row) -> None:
+    """Collect one printed row for the end-of-session summary."""
+    _rows.setdefault(table, (header, []))[1].append(row)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _summary():
+    yield
+    from repro.bench import print_table
+
+    for title, (header, rows) in _rows.items():
+        print_table(title, header, rows)

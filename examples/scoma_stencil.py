@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Shared-memory programming over S-COMA: a 1-D stencil relaxation.
+
+Four nodes share one S-COMA region holding a vector of 64-bit values.
+Each node owns a contiguous slice (its lines are homed there) and
+repeatedly averages each element with its neighbours — reading across
+the slice boundary pulls the neighbour's line through the coherence
+protocol; writing back invalidates remote copies.  A mini-MPI barrier
+separates iterations.
+
+The example exercises exactly what §5 promises from S-COMA: an
+application written with plain loads and stores, no message-passing code
+in the compute loop, automatic replication of read-shared lines in local
+DRAM, and ownership migration on writes.
+
+Run:  python examples/scoma_stencil.py
+"""
+
+import repro
+from repro.lib.mpi import MiniMPI
+from repro.shm import ScomaRegion
+
+NODES = 4
+#: one 64-bit value per cache line keeps ownership conflicts visible.
+VALUES_PER_NODE = 8
+ITERATIONS = 3
+LINE = 32
+
+
+def main() -> None:
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=NODES))
+    region = ScomaRegion(machine, n_lines=NODES * VALUES_PER_NODE * 4)
+    mpi = MiniMPI(machine)
+    total = NODES * VALUES_PER_NODE
+
+    # initial condition: value i = 1000 * i, written at each line's home
+    init = b"".join(
+        (1000 * i).to_bytes(8, "big").ljust(LINE, b"\x00") for i in range(total)
+    )
+    region.init_data(0, init)
+
+    def addr(i: int) -> int:
+        return region.addr(i * LINE)
+
+    def worker(api, rank: int):
+        comm = mpi.rank(rank)
+        lo, hi = rank * VALUES_PER_NODE, (rank + 1) * VALUES_PER_NODE
+        for _ in range(ITERATIONS):
+            updates = []
+            for i in range(lo, hi):
+                left = i - 1 if i > 0 else i
+                right = i + 1 if i < total - 1 else i
+                a = int.from_bytes((yield from api.load(addr(left), 8)), "big")
+                b = int.from_bytes((yield from api.load(addr(i), 8)), "big")
+                c = int.from_bytes((yield from api.load(addr(right), 8)), "big")
+                updates.append((i, (a + b + c) // 3))
+                yield from api.compute(12)
+            yield from comm.barrier(api)  # read phase done everywhere
+            for i, v in updates:
+                yield from api.store(addr(i), v.to_bytes(8, "big"))
+            yield from comm.barrier(api)  # write phase done everywhere
+        if rank == 0:
+            out = []
+            for i in range(total):
+                v = int.from_bytes((yield from api.load(addr(i), 8)), "big")
+                out.append(v)
+            return out
+
+    procs = [machine.spawn(n, worker, n) for n in range(NODES)]
+    results = machine.run_all(procs)
+    final = results[0]
+    print(f"after {ITERATIONS} relaxation steps over {NODES} nodes:")
+    print("  " + " ".join(str(v) for v in final))
+    smoothed = all(final[i] <= final[i + 1] for i in range(total - 1))
+    print(f"  monotone (smoothing preserved order): {smoothed}")
+    print(f"  simulated time: {machine.now / 1000:.1f} us")
+    stats = machine.report()
+    checks = sum(v for k, v in stats.items() if k.startswith("count.ctrl")
+                 and "msgs_sent" in k)
+    print(f"  protocol messages exchanged: {int(checks)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Multiple-writer shared memory with the diff-ing TxU extension (§5).
+
+Three nodes share a release-consistent update region.  Each node fills
+its own column of a small shared table at full cached-write speed, then
+releases; the diff-ing hardware ships only the words each node changed,
+so the columns *merge* — the softDSM multiple-writer property — instead
+of ping-ponging line ownership.
+
+Run:  python examples/update_region.py
+"""
+
+import repro
+from repro.lib.mpi import MiniMPI
+from repro.mp.basic import BasicPort
+from repro.shm.update import UpdateRegion
+
+NODES = 3
+BASE = 0x50000
+ROWS = 4
+LINE = 32
+
+
+def main() -> None:
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=NODES))
+    region = UpdateRegion(machine, base=BASE, size=4096)
+    ports = [BasicPort(machine.node(n), 0, 0) for n in range(NODES)]
+    mpi = MiniMPI(machine)
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        # each node writes its own 8-byte column of every row — three
+        # writers touching every line, disjoint words
+        for row in range(ROWS):
+            cell = f"r{row}n{rank}".ljust(8).encode()
+            yield from api.store(region.addr(row * LINE + rank * 8), cell)
+        yield from region.release(api, ports[rank], notify_queue=0)
+        yield from comm.barrier(api)  # all releases delivered
+        if rank == 0:
+            table = []
+            for row in range(ROWS):
+                line = yield from api.load(region.addr(row * LINE), LINE)
+                table.append(line)
+            return table
+
+    procs = [machine.spawn(n, worker, n) for n in range(NODES)]
+    results = machine.run_all(procs)
+    print("merged table as node 0 sees it (one row per line):")
+    for row, line in enumerate(results[0]):
+        cells = [line[i * 8 : i * 8 + 8].decode().strip() for i in range(3)]
+        print(f"  row {row}: {cells}")
+    unit = region.units[0]
+    print(f"\nnode 0 diffed {unit.diffs_produced} lines, "
+          f"saved {unit.bytes_saved} wire bytes vs whole-line sends")
+    print(f"simulated time: {machine.now / 1000:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

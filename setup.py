@@ -1,0 +1,6 @@
+"""Setup shim: enables editable installs on environments without the
+``wheel`` package (PEP 660 editable wheels need it; ``setup.py develop``
+does not)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""StarT-Voyager reproduction.
+
+A behavioural, cycle-approximate simulator of the SC'98 StarT-Voyager
+platform: PowerPC-SMP nodes whose second processor slot holds a flexible
+network interface unit (CTRL ASIC + reconfigurable BIU "FPGAs" + an
+embedded firmware engine) on the MIT Arctic fat-tree network — plus the
+paper's communication mechanisms (Basic/Express/TagOn/DMA message
+passing, NUMA and S-COMA shared memory) and its block-transfer
+experiments.
+
+Quick start::
+
+    from repro import StarTVoyager, default_config
+    machine = StarTVoyager(default_config(n_nodes=2))
+"""
+
+from repro.common.config import MachineConfig, default_config
+from repro.core.machine import StarTVoyager
+
+__version__ = "1.0.0"
+
+__all__ = ["StarTVoyager", "MachineConfig", "default_config", "__version__"]

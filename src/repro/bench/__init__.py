@@ -1,0 +1,25 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` targets."""
+
+from repro.bench.harness import (
+    FIG_SIZES,
+    basic_oneway_latency,
+    basic_stream_rate,
+    block_transfer_sweep,
+    express_oneway_latency,
+    fresh_machine,
+    mpi_pingpong_latency,
+    print_table,
+    run_block_transfer,
+)
+
+__all__ = [
+    "FIG_SIZES",
+    "fresh_machine",
+    "run_block_transfer",
+    "block_transfer_sweep",
+    "print_table",
+    "basic_oneway_latency",
+    "express_oneway_latency",
+    "basic_stream_rate",
+    "mpi_pingpong_latency",
+]

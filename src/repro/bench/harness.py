@@ -1,0 +1,160 @@
+"""Benchmark harness: sweeps, mechanism microbenchmarks, table printing.
+
+Shared by the ``benchmarks/`` targets so that every table and figure is
+regenerated through one code path: build a fresh machine per data point,
+run the workload, extract the simulated metrics, print the paper-style
+rows (and return them for programmatic checks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Sequence
+
+import repro
+from repro.core.blocktransfer import BlockTransferExperiment, TransferResult
+from repro.lib.mpi import MiniMPI
+from repro.mp.basic import BasicPort
+from repro.mp.express import ExpressPort
+from repro.niu.niu import EXPRESS_RX_LOGICAL, vdst_for
+
+#: the size axis used for the Figure 3/4 sweeps.
+FIG_SIZES = [256, 1024, 4096, 16384, 65536]
+
+
+def fresh_machine(n_nodes: int = 2, **overrides) -> "repro.StarTVoyager":
+    """One standard-configuration machine (fresh per data point)."""
+    return repro.StarTVoyager(repro.default_config(n_nodes=n_nodes, **overrides))
+
+
+def run_block_transfer(approach: int, size: int) -> TransferResult:
+    """One Figure-3/4 data point on a fresh two-node machine."""
+    machine = fresh_machine(2)
+    return BlockTransferExperiment(machine).run(approach, size)
+
+
+def block_transfer_sweep(approaches: Sequence[int],
+                         sizes: Sequence[int] = FIG_SIZES
+                         ) -> List[TransferResult]:
+    """The full (approach x size) grid."""
+    return [run_block_transfer(a, s) for a in approaches for s in sizes]
+
+
+def print_table(title: str, header: Sequence[str],
+                rows: Sequence[Sequence[object]]) -> None:
+    """Fixed-width table, the harness's one output format."""
+    widths = [max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+              for i, h in enumerate(header)]
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+# ----------------------------------------------------------------------
+# mechanism microbenchmarks (one-way latency / message rate)
+# ----------------------------------------------------------------------
+
+def basic_oneway_latency(payload_bytes: int = 8, repeats: int = 20) -> float:
+    """Mean one-way Basic-message latency in ns (ping-pong halved)."""
+    machine = fresh_machine(2)
+    p0 = BasicPort(machine.node(0), 0, 0)
+    p1 = BasicPort(machine.node(1), 0, 0)
+    payload = bytes(payload_bytes)
+
+    def ping(api):
+        for _ in range(repeats):
+            yield from p0.send(api, vdst_for(1, 0), payload)
+            yield from p0.recv(api)
+
+    def pong(api):
+        for _ in range(repeats):
+            yield from p1.recv(api)
+            yield from p1.send(api, vdst_for(0, 0), payload)
+
+    t0 = machine.now
+    a = machine.spawn(0, ping)
+    b = machine.spawn(1, pong)
+    machine.run_all([a, b])
+    return (machine.now - t0) / (2 * repeats)
+
+
+def express_oneway_latency(repeats: int = 20) -> float:
+    """Mean one-way Express-message latency in ns."""
+    machine = fresh_machine(2)
+    e0, e1 = ExpressPort(machine.node(0)), ExpressPort(machine.node(1))
+
+    def ping(api):
+        for _ in range(repeats):
+            yield from e0.send(api, vdst_for(1, EXPRESS_RX_LOGICAL), b"01234")
+            yield from e0.recv_blocking(api)
+
+    def pong(api):
+        for _ in range(repeats):
+            yield from e1.recv_blocking(api)
+            yield from e1.send(api, vdst_for(0, EXPRESS_RX_LOGICAL), b"43210")
+
+    t0 = machine.now
+    a = machine.spawn(0, ping)
+    b = machine.spawn(1, pong)
+    machine.run_all([a, b])
+    return (machine.now - t0) / (2 * repeats)
+
+
+def basic_stream_rate(payload_bytes: int = 64, count: int = 200
+                      ) -> Dict[str, float]:
+    """One-directional Basic-message stream: msgs/s and MB/s."""
+    machine = fresh_machine(2)
+    p0 = BasicPort(machine.node(0), 0, 0)
+    p1 = BasicPort(machine.node(1), 0, 0)
+    payload = bytes(payload_bytes)
+
+    def producer(api):
+        for _ in range(count):
+            yield from p0.send(api, vdst_for(1, 0), payload)
+
+    def consumer(api):
+        for _ in range(count):
+            yield from p1.recv(api)
+
+    t0 = machine.now
+    a = machine.spawn(0, producer)
+    b = machine.spawn(1, consumer)
+    machine.run_all([a, b])
+    elapsed = machine.now - t0
+    return {
+        "msgs_per_s": count / (elapsed / 1e9),
+        "mb_per_s": (count * payload_bytes) / elapsed * 1000.0,
+        "elapsed_ns": elapsed,
+    }
+
+
+def mpi_pingpong_latency(payload_bytes: int = 64, repeats: int = 10) -> float:
+    """Mean one-way mini-MPI latency (library overhead included)."""
+    machine = fresh_machine(2)
+    mpi = MiniMPI(machine)
+    payload = bytes(payload_bytes)
+
+    def ping(api):
+        r = mpi.rank(0)
+        for _ in range(repeats):
+            yield from r.send(api, 1, payload)
+            yield from r.recv(api, src=1)
+
+    def pong(api):
+        r = mpi.rank(1)
+        for _ in range(repeats):
+            yield from r.recv(api, src=0)
+            yield from r.send(api, 0, payload)
+
+    t0 = machine.now
+    a = machine.spawn(0, ping)
+    b = machine.spawn(1, pong)
+    machine.run_all([a, b])
+    return (machine.now - t0) / (2 * repeats)

@@ -1,0 +1,157 @@
+"""Synthetic workload generators.
+
+The paper argues its platform supports "system workload level studies",
+not just single-program runs.  These generators build multi-node,
+multi-mechanism workloads with a seeded RNG so every run is
+reproducible: uniform random messaging, hotspot traffic, a
+producer/consumer pipeline, and a mixed workload that exercises
+messaging, DMA and shared memory together.
+
+Each generator returns ``(procs, verify)``: the spawned processes and a
+zero-argument callable that checks end-state integrity after the run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, List, Tuple
+
+from repro.mp.basic import BasicPort
+from repro.mp.dma import DmaNotifier, dma_write
+from repro.niu.niu import vdst_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import StarTVoyager
+    from repro.sim.process import Process
+
+VerifyFn = Callable[[], bool]
+
+
+def uniform_random(machine: "StarTVoyager", messages_per_node: int = 20,
+                   payload: int = 32, seed: int = 7
+                   ) -> Tuple[List["Process"], VerifyFn]:
+    """Every node sends to uniformly random partners; receivers verify
+    each payload's (src, seq) stamp."""
+    n = machine.config.n_nodes
+    rng = random.Random(seed)
+    ports = [BasicPort(machine.node(i), 0, 0) for i in range(n)]
+    plan = {src: [] for src in range(n)}
+    incoming = [0] * n
+    for src in range(n):
+        for seq in range(messages_per_node):
+            dst = rng.randrange(n - 1)
+            dst = dst if dst < src else dst + 1
+            plan[src].append((dst, seq))
+            incoming[dst] += 1
+    failures: List[str] = []
+
+    def sender(api, src):
+        for dst, seq in plan[src]:
+            body = bytes([src, seq]) + bytes(payload - 2)
+            yield from ports[src].send(api, vdst_for(dst, 0), body)
+
+    def receiver(api, me):
+        for _ in range(incoming[me]):
+            src, body = yield from ports[me].recv(api)
+            if body[0] != src:
+                failures.append(f"node {me}: stamp {body[0]} != src {src}")
+
+    procs = []
+    for i in range(n):
+        procs.append(machine.spawn(i, sender, i, name=f"ur.send{i}"))
+        procs.append(machine.spawn(i, receiver, i, name=f"ur.recv{i}"))
+    return procs, lambda: not failures
+
+
+def hotspot(machine: "StarTVoyager", messages_per_node: int = 20,
+            hot_node: int = 0) -> Tuple[List["Process"], VerifyFn]:
+    """Everyone hammers one node — the congestion pattern that makes
+    receive-queue flow control earn its keep."""
+    n = machine.config.n_nodes
+    ports = [BasicPort(machine.node(i), 0, 0) for i in range(n)]
+    got = {"count": 0}
+    total = (n - 1) * messages_per_node
+
+    def sender(api, src):
+        for seq in range(messages_per_node):
+            yield from ports[src].send(api, vdst_for(hot_node, 0),
+                                       bytes([src, seq]))
+
+    def sink(api):
+        for _ in range(total):
+            yield from ports[hot_node].recv(api)
+            got["count"] += 1
+
+    procs = [machine.spawn(i, sender, i, name=f"hs.send{i}")
+             for i in range(n) if i != hot_node]
+    procs.append(machine.spawn(hot_node, sink, name="hs.sink"))
+    return procs, lambda: got["count"] == total
+
+
+def pipeline(machine: "StarTVoyager", rounds: int = 10, payload: int = 64
+             ) -> Tuple[List["Process"], VerifyFn]:
+    """A ring pipeline: each node transforms and forwards."""
+    n = machine.config.n_nodes
+    ports = [BasicPort(machine.node(i), 0, 0) for i in range(n)]
+    final = {}
+
+    def stage(api, rank):
+        if rank == 0:
+            for round_ in range(rounds):
+                token = bytes([round_]) + bytes(payload - 1)
+                yield from ports[0].send(api, vdst_for(1 % n, 0), token)
+            for round_ in range(rounds):
+                _s, token = yield from ports[0].recv(api)
+                final[token[0]] = token[1]
+        else:
+            for _ in range(rounds):
+                _s, token = yield from ports[rank].recv(api)
+                stamped = bytes([token[0], token[1] + 1]) + token[2:]
+                yield from ports[rank].send(
+                    api, vdst_for((rank + 1) % n, 0), stamped)
+
+    procs = [machine.spawn(i, stage, i, name=f"pl.{i}") for i in range(n)]
+    return procs, lambda: all(final.get(r) == machine.config.n_nodes - 1
+                              for r in range(rounds))
+
+
+def mixed(machine: "StarTVoyager", seed: int = 11
+          ) -> Tuple[List["Process"], VerifyFn]:
+    """Messaging + DMA + S-COMA sharing, simultaneously, on two nodes."""
+    from repro.shm import ScomaRegion
+
+    region = ScomaRegion(machine, n_lines=64)
+    region.init_data(0, bytes(range(32)))
+    msg_port0 = BasicPort(machine.node(0), 0, 0)
+    msg_port1 = BasicPort(machine.node(1), 0, 0)
+    dma_port = BasicPort(machine.node(0), 1, 1)
+    notifier = DmaNotifier(machine.node(1))
+    rng = random.Random(seed)
+    dma_data = bytes(rng.randrange(256) for _ in range(3000))
+    machine.node(0).dram.poke(0x16000, dma_data)
+    checks = {}
+
+    def node0(api):
+        yield from dma_write(api, dma_port, 1, 0x16000, 0x26000,
+                             len(dma_data))
+        for i in range(10):
+            yield from msg_port0.send(api, vdst_for(1, 0), bytes([i] * 16))
+        checks["scoma0"] = yield from api.load(region.addr(0), 8)
+
+    def node1(api):
+        for i in range(10):
+            _s, body = yield from msg_port1.recv(api)
+            assert body[0] == i
+        yield from notifier.wait(api)
+        checks["dma"] = machine.node(1).dram.peek(0x26000, len(dma_data))
+        checks["scoma1"] = yield from api.load(region.addr(0), 8)
+
+    procs = [machine.spawn(0, node0, name="mx.0"),
+             machine.spawn(1, node1, name="mx.1")]
+
+    def verify():
+        return (checks.get("dma") == dma_data
+                and checks.get("scoma0") == checks.get("scoma1")
+                == bytes(range(8)))
+
+    return procs, verify

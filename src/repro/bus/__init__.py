@@ -1,0 +1,14 @@
+"""The 60X-style coherent memory bus: operations, snooping, transport."""
+
+from repro.bus.bus import MemoryBus
+from repro.bus.ops import BusOpType, BusTransaction
+from repro.bus.snoop import BusSlave, Snooper, SnoopResult
+
+__all__ = [
+    "MemoryBus",
+    "BusOpType",
+    "BusTransaction",
+    "BusSlave",
+    "Snooper",
+    "SnoopResult",
+]

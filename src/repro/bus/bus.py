@@ -1,0 +1,198 @@
+"""The coherent memory bus (60X-style).
+
+One bus per node, shared by the aP (through its L2), the memory
+controller, and the NIU's aBIU.  The model serializes each transaction —
+arbitration, address tenure, snoop window, data tenure — while the bus is
+held.  The real 60X pipelines address and data tenures; collapsing them
+costs some absolute accuracy but preserves what the paper's experiments
+measure: *how many times data crosses the bus* and *who is occupied while
+it does*.
+
+Retry semantics follow the hardware: a snooper answering RETRY aborts the
+tenure after the snoop window; the master backs off
+``retry_backoff_cycles`` and re-arbitrates.  An S-COMA stalled read is
+therefore a live sequence of short aborted tenures, consuming bus
+bandwidth and keeping the aP pinned — the exact pathology §6 of the paper
+warns about for approaches 4/5.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List, Optional
+
+from repro.bus.ops import BusOpType, BusTransaction
+from repro.bus.snoop import BusSlave, Snooper, SnoopResult
+from repro.common.config import BusConfig
+from repro.common.errors import AddressError, SimulationError
+from repro.mem.address import AddressMap
+from repro.sim.resource import PriorityResource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+    from repro.sim.events import Event
+    from repro.sim.stats import StatsRegistry
+    from repro.sim.trace import Tracer
+
+
+class MemoryBus:
+    """Arbitrated, snooped, address-mapped transaction transport."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        config: BusConfig,
+        address_map: AddressMap,
+        stats: Optional["StatsRegistry"] = None,
+        tracer: Optional["Tracer"] = None,
+        name: str = "bus",
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.address_map = address_map
+        self.name = name
+        self.stats = stats
+        self.tracer = tracer
+        self._arbiter = PriorityResource(engine, capacity=1, name=f"{name}.arb")
+        self._snoopers: List[Snooper] = []
+
+    # -- construction ------------------------------------------------------
+
+    def attach_snooper(self, snooper: Snooper) -> None:
+        """Add a snooping agent; order of attachment is snoop order."""
+        self._snoopers.append(snooper)
+
+    # -- timing helpers ------------------------------------------------------
+
+    def cycles(self, n: float) -> float:
+        """Convert bus cycles to nanoseconds."""
+        return n * self.config.cycle_ns
+
+    def data_beats(self, txn: BusTransaction) -> int:
+        """Data beats the transaction's data tenure occupies."""
+        if not txn.op.has_data:
+            return 0
+        if txn.op.is_burst:
+            return self.config.beats_per_line
+        return 1
+
+    # -- the transaction protocol ---------------------------------------------
+
+    def transact(
+        self, txn: BusTransaction, priority: int = 0
+    ) -> Generator["Event", None, BusTransaction]:
+        """Run one transaction to completion (process fragment).
+
+        Returns the same transaction, with ``data`` filled in for reads.
+        Raises :class:`AddressError` if nothing claims or maps the address,
+        and :class:`SimulationError` when the configured retry cap trips
+        (live-lock guard).
+        """
+        cfg = self.config
+        if txn.op.is_burst:
+            if txn.size != cfg.line_bytes:
+                raise SimulationError(
+                    f"burst {txn.op.value} must be {cfg.line_bytes} bytes, "
+                    f"got {txn.size}"
+                )
+            if txn.addr % cfg.line_bytes:
+                raise SimulationError(
+                    f"burst {txn.op.value} misaligned at {txn.addr:#x}"
+                )
+
+        while True:
+            # arbitration + address tenure + snoop window, bus held
+            yield self._arbiter.request(priority)
+            try:
+                yield self.engine.timeout(
+                    self.cycles(cfg.arbitration_cycles + cfg.address_cycles)
+                )
+                verdict, claimant = self._snoop_window(txn)
+                yield self.engine.timeout(self.cycles(cfg.snoop_cycles))
+
+                if verdict is SnoopResult.RETRY:
+                    txn.retries += 1
+                    if self.stats:
+                        self.stats.counter(f"{self.name}.retries").incr()
+                    if cfg.max_retries and txn.retries > cfg.max_retries:
+                        raise SimulationError(
+                            f"{txn!r} exceeded retry cap {cfg.max_retries}"
+                        )
+                else:
+                    # data tenure while the bus is held
+                    result = yield from self._data_tenure(txn, claimant)
+                    if txn.op.is_read:
+                        if result is None or len(result) != txn.size:
+                            raise SimulationError(
+                                f"{txn!r}: handler returned "
+                                f"{len(result) if result is not None else None} "
+                                f"bytes, expected {txn.size}"
+                            )
+                        txn.data = result
+                    if self.stats:
+                        self.stats.counter(f"{self.name}.txns").incr()
+                        if txn.op.has_data:
+                            self.stats.counter(f"{self.name}.bytes").incr(txn.size)
+                    if self.tracer:
+                        self.tracer.emit(
+                            self.name,
+                            f"bus.{txn.op.value}",
+                            (txn.addr, txn.size, txn.master),
+                        )
+                    return txn
+            finally:
+                self._arbiter.release()
+            # back off without holding the bus, then re-arbitrate
+            yield self.engine.timeout(self.cycles(cfg.retry_backoff_cycles))
+
+    def _snoop_window(self, txn: BusTransaction):
+        """Collect snoop responses; returns (verdict, claimant)."""
+        claimant: Optional[Snooper] = None
+        retried = False
+        for snooper in self._snoopers:
+            res = snooper.snoop(txn)
+            if res is SnoopResult.RETRY:
+                retried = True
+            elif res is SnoopResult.CLAIM:
+                if claimant is not None:
+                    raise SimulationError(
+                        f"{txn!r} claimed by both {claimant.snooper_name!r} "
+                        f"and {snooper.snooper_name!r}"
+                    )
+                claimant = snooper
+        if retried:
+            return SnoopResult.RETRY, None
+        if claimant is not None:
+            return SnoopResult.CLAIM, claimant
+        return SnoopResult.OK, None
+
+    def _data_tenure(
+        self, txn: BusTransaction, claimant: Optional[Snooper]
+    ) -> Generator["Event", None, Optional[bytes]]:
+        if claimant is not None:
+            txn.intervened = True
+            return (yield from claimant.serve(txn))
+        if not txn.op.has_data:
+            # address-only operation (KILL/FLUSH): snoopers already acted.
+            return None
+        region = self.address_map.lookup(txn.addr, txn.size)
+        owner = region.owner
+        if owner is None:
+            raise AddressError(
+                f"{txn!r}: region {region.name!r} has no bus slave and no "
+                "snooper claimed the transaction"
+            )
+        if not isinstance(owner, BusSlave):
+            raise SimulationError(
+                f"region {region.name!r} owner is not a BusSlave: {owner!r}"
+            )
+        return (yield from owner.access(txn))
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Fraction of simulated time the bus was held."""
+        return self._arbiter.utilization()
+
+    def busy_ns(self) -> float:
+        """Total ns the bus was held."""
+        return self._arbiter.busy_time()

@@ -1,0 +1,120 @@
+"""Bus operation types and transactions (60X-bus-like).
+
+The 604's memory bus supports single-beat and burst (cache-line)
+transfers, coherence operations, and a retry-based snoop protocol.  The
+StarT-Voyager NIU exploits exactly this repertoire: the aBIU observes
+every operation, may claim it, retry it, or forward it — and may itself
+*issue* operations on behalf of CTRL or sP firmware ("moving control
+information over data paths and data information over control paths").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional
+
+
+class BusOpType(enum.Enum):
+    """The transfer-type repertoire used by the model."""
+
+    #: single-beat read (uncached load), 1..8 bytes.
+    READ = "read"
+    #: single-beat write (uncached store), 1..8 bytes.
+    WRITE = "write"
+    #: burst read of one cache line (cache fill, NIU block read).
+    READ_LINE = "read_line"
+    #: burst read with intent to modify (store miss fill).
+    RWITM = "rwitm"
+    #: burst write of one cache line (writeback, NIU data push).
+    WRITE_LINE = "write_line"
+    #: invalidate the line in all caches without data transfer.
+    KILL = "kill"
+    #: force a modified line out of caches to memory.
+    FLUSH = "flush"
+
+    @property
+    def is_burst(self) -> bool:
+        """True for full-cache-line transfers."""
+        return self in (BusOpType.READ_LINE, BusOpType.RWITM, BusOpType.WRITE_LINE)
+
+    @property
+    def is_read(self) -> bool:
+        """True when the master receives data."""
+        return self in (BusOpType.READ, BusOpType.READ_LINE, BusOpType.RWITM)
+
+    @property
+    def is_write(self) -> bool:
+        """True when the master supplies data."""
+        return self in (BusOpType.WRITE, BusOpType.WRITE_LINE)
+
+    @property
+    def has_data(self) -> bool:
+        """True when a data tenure occurs at all."""
+        return self not in (BusOpType.KILL, BusOpType.FLUSH)
+
+
+_txn_ids = itertools.count()
+
+
+class BusTransaction:
+    """One bus operation: address/control signals plus the data tenure.
+
+    ``data`` is the write payload for writes, and is filled in with the
+    read result for reads.  ``master`` is a diagnostic label.  ``tag`` is
+    a free slot the issuing unit can use to smuggle context to a handler —
+    the NIU's "address as information" trick uses the *address* for that,
+    but pure-model bookkeeping (e.g. which L2 initiated a fill) rides here.
+    """
+
+    __slots__ = (
+        "txn_id",
+        "op",
+        "addr",
+        "size",
+        "data",
+        "master",
+        "tag",
+        "retries",
+        "intervened",
+    )
+
+    def __init__(
+        self,
+        op: BusOpType,
+        addr: int,
+        size: int,
+        data: Optional[bytes] = None,
+        master: str = "?",
+        tag: Any = None,
+    ) -> None:
+        if addr < 0:
+            raise ValueError(f"negative address {addr:#x}")
+        if size <= 0:
+            raise ValueError(f"transfer size must be positive, got {size}")
+        if op in (BusOpType.READ, BusOpType.WRITE) and size > 8:
+            raise ValueError(f"single-beat op limited to 8 bytes, got {size}")
+        if op.is_write:
+            if data is None or len(data) != size:
+                raise ValueError(f"{op.value} needs exactly {size} bytes of data")
+        self.txn_id = next(_txn_ids)
+        self.op = op
+        self.addr = addr
+        self.size = size
+        self.data = data
+        self.master = master
+        self.tag = tag
+        #: number of snoop retries this transaction has absorbed.
+        self.retries = 0
+        #: set when a snooping cache supplied the data instead of memory.
+        self.intervened = False
+
+    def line_base(self, line_bytes: int) -> int:
+        """Base address of the cache line this transaction touches."""
+        return self.addr & ~(line_bytes - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<BusTxn#{self.txn_id} {self.op.value} @{self.addr:#x} "
+            f"size={self.size} by {self.master}>"
+        )

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the StarT-Voyager simulator.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch simulator-originated failures without masking genuine
+Python bugs (``TypeError`` etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all simulator errors."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent :class:`~repro.common.config.MachineConfig`."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel reached an illegal state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class AddressError(ReproError):
+    """A physical address fell outside every mapped region."""
+
+
+class AlignmentError(AddressError):
+    """An access violated the alignment its bus operation requires."""
+
+
+class ProtectionViolation(ReproError):
+    """A message or bus operation violated NIU protection.
+
+    Mirrors the hardware behaviour described in the paper: on violation the
+    offending queue is shut down and firmware/OS is notified by interrupt.
+    The exception is what the *user-level* API surfaces when it attempts to
+    use a queue that hardware has shut down.
+    """
+
+
+class QueueError(ReproError):
+    """Illegal queue manipulation (bad index, pointer out of range...)."""
+
+
+class QueueFullError(QueueError):
+    """A non-blocking enqueue found the queue full."""
+
+
+class QueueEmptyError(QueueError):
+    """A non-blocking dequeue found the queue empty."""
+
+
+class TranslationError(ReproError):
+    """Destination translation failed (missing table entry, bad vdst)."""
+
+
+class NetworkError(ReproError):
+    """Malformed packet or impossible route."""
+
+
+class FirmwareError(ReproError):
+    """A firmware handler raised or was mis-registered."""
+
+
+class ProgramError(ReproError):
+    """A user program performed an illegal operation on the aP."""

@@ -1,0 +1,77 @@
+"""Unit helpers.
+
+The simulator's canonical time unit is the **nanosecond**, carried as a
+float.  The canonical data unit is the **byte**.  These helpers keep unit
+conversions explicit and self-documenting at call sites, following the
+"make it work reliably" guidance: a bare ``166`` in the code is a bug
+waiting to happen, ``mhz_to_ns(166)`` is not.
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the canonical unit).
+NS = 1.0
+#: One microsecond in nanoseconds.
+US = 1_000.0
+#: One millisecond in nanoseconds.
+MS = 1_000_000.0
+#: One second in nanoseconds.
+S = 1_000_000_000.0
+
+#: One kibibyte / mebibyte in bytes.
+KB = 1024
+MB = 1024 * 1024
+
+
+def mhz_to_ns(mhz: float) -> float:
+    """Clock period in ns of a clock running at ``mhz`` MHz."""
+    if mhz <= 0:
+        raise ValueError(f"clock frequency must be positive, got {mhz}")
+    return 1_000.0 / mhz
+
+
+def mbps_to_ns_per_byte(mb_per_s: float) -> float:
+    """Serialization cost in ns/byte of a link carrying ``mb_per_s`` MB/s.
+
+    The paper quotes Arctic links at 160 MB/s/direction; that is
+    160 * 10^6 bytes per second -> 6.25 ns per byte.
+    """
+    if mb_per_s <= 0:
+        raise ValueError(f"bandwidth must be positive, got {mb_per_s}")
+    return 1_000.0 / mb_per_s
+
+
+def bytes_per_ns_to_mbps(bytes_per_ns: float) -> float:
+    """Convert a measured rate in bytes/ns back to MB/s (decimal MB)."""
+    return bytes_per_ns * 1_000.0
+
+
+def ns_to_us(ns: float) -> float:
+    """Nanoseconds to microseconds."""
+    return ns / US
+
+
+def align_down(addr: int, align: int) -> int:
+    """Largest multiple of ``align`` that is <= ``addr``."""
+    if align <= 0 or align & (align - 1):
+        raise ValueError(f"alignment must be a positive power of two, got {align}")
+    return addr & ~(align - 1)
+
+
+def align_up(addr: int, align: int) -> int:
+    """Smallest multiple of ``align`` that is >= ``addr``."""
+    if align <= 0 or align & (align - 1):
+        raise ValueError(f"alignment must be a positive power of two, got {align}")
+    return (addr + align - 1) & ~(align - 1)
+
+
+def is_aligned(addr: int, align: int) -> bool:
+    """True when ``addr`` is a multiple of ``align`` (a power of two)."""
+    if align <= 0 or align & (align - 1):
+        raise ValueError(f"alignment must be a positive power of two, got {align}")
+    return (addr & (align - 1)) == 0
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0

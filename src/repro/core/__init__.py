@@ -1,0 +1,5 @@
+"""The experiment platform: cluster assembly and the §6 experiments."""
+
+from repro.core.machine import StarTVoyager
+
+__all__ = ["StarTVoyager"]

@@ -1,0 +1,94 @@
+"""Machine introspection: a textual map of a built cluster.
+
+``describe_machine`` renders what the hardware actually instantiated —
+address maps, queue plans, installed aBIU handlers, registered firmware —
+the first thing a user of a platform this configurable needs when a
+mechanism misbehaves.  The output is stable and diff-friendly, so tests
+can also pin the default configuration's shape.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import StarTVoyager
+    from repro.node.node import NodeBoard
+
+
+def describe_machine(machine: "StarTVoyager") -> str:
+    """Full textual description of every node plus the network."""
+    lines: List[str] = []
+    cfg = machine.config
+    lines.append(
+        f"StarT-Voyager: {cfg.n_nodes} node(s), aP {cfg.ap.clock_mhz:g} MHz, "
+        f"bus {cfg.bus.clock_mhz:g} MHz/{cfg.bus.width_bytes * 8}-bit, "
+        f"links {cfg.network.link_mb_per_s:g} MB/s"
+    )
+    if machine.network is not None:
+        topo = machine.network.topology.describe()
+        lines.append(
+            f"network: fat tree, {topo['levels']} level(s) x "
+            f"{topo['switches_per_level']} switch(es), radix {topo['radix']}, "
+            f"{len(machine.network.links)} links"
+        )
+    else:
+        lines.append("network: none (single node)")
+    for node in machine.nodes:
+        lines.extend(describe_node(node))
+    return "\n".join(lines) + "\n"
+
+
+def describe_node(node: "NodeBoard") -> List[str]:
+    """One node's address map, queue plan, handlers and firmware."""
+    lines = [f"node {node.node_id}:"]
+    lines.append("  address map:")
+    for region in node.address_map.regions():
+        owner = getattr(region.owner, "slave_name", None) or (
+            "(claimed)" if region.owner is None else str(region.owner))
+        lines.append(
+            f"    [{region.base:#010x}, {region.end:#010x}) "
+            f"{region.mode.value:8s} {region.name:24s} -> {owner}"
+        )
+    ctrl = node.ctrl
+    lines.append("  tx queues:")
+    for q in ctrl.tx_queues:
+        lines.append(
+            f"    tx{q.index}: bank {'a' if q.bank == 0 else 's'} "
+            f"base {q.base:#06x} depth {q.depth} prio {q.priority} "
+            f"{'raw-ok ' if q.allow_raw else ''}"
+            f"{'owned:' + str(q.owner_pid) if q.owner_pid else ''}"
+            f"{'' if q.enabled else ' SHUTDOWN'}"
+        )
+    lines.append("  rx queues (slot: logical):")
+    for q in ctrl.rx_queues:
+        lines.append(
+            f"    rx{q.index}: logical {q.logical_id} bank "
+            f"{'a' if q.bank == 0 else 's'} depth {q.depth} "
+            f"policy {q.full_policy.value}"
+            f"{' irq' if q.interrupt_on_arrival else ''}"
+        )
+    resident = ctrl.rx_cache.resident()
+    spilled = ctrl.rx_cache.n_logical - len(resident)
+    lines.append(
+        f"  rx namespace: {ctrl.rx_cache.n_logical} logical, "
+        f"{len(resident)} resident, {spilled} miss-serviced"
+    )
+    lines.append("  aBIU handlers:")
+    for region, handler in node.niu.abiu._handlers:
+        lines.append(
+            f"    [{region.base:#010x}, {region.end:#010x}) "
+            f"{handler.handler_name}"
+        )
+    lines.append("  firmware events: "
+                 + ", ".join(sorted(node.sp._handlers)) )
+    msg_handlers = node.sp.state.get("msg_handlers", {})
+    if msg_handlers:
+        lines.append("  firmware message types: "
+                     + ", ".join(str(t) for t in sorted(msg_handlers)))
+    cls = node.niu.cls
+    lines.append(
+        f"  clsSRAM: {cls.n_lines} lines over "
+        f"[{cls.cover_base:#x}, {cls.cover_end:#x})"
+    )
+    return lines

@@ -1,0 +1,148 @@
+"""The assembled StarT-Voyager cluster: the library's top-level object.
+
+:class:`StarTVoyager` builds the engine, statistics, the Arctic network,
+every node board, installs translation tables and default firmware, and
+offers program execution and measurement helpers.  Everything a user of
+the library touches starts here::
+
+    from repro import StarTVoyager, default_config
+
+    machine = StarTVoyager(default_config(n_nodes=2))
+
+    def hello(api):
+        yield from api.compute(10)
+        return api.node_id
+
+    procs = [machine.spawn(n, hello) for n in range(2)]
+    machine.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Union
+
+from repro.common.config import MachineConfig, default_config
+from repro.common.errors import ConfigError
+from repro.net.packet import PRIORITY_HIGH, PRIORITY_LOW
+from repro.net.network import ArcticNetwork
+from repro.niu.niu import (
+    SP_PROTOCOL_QUEUE,
+    SP_SERVICE_QUEUE,
+    vdst_for,
+)
+from repro.niu.translation import TranslationEntry
+from repro.node.node import NodeBoard
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import Tracer
+from repro.firmware import install_default_firmware
+
+
+class StarTVoyager:
+    """A cluster of StarT-Voyager nodes on an Arctic fat tree."""
+
+    def __init__(
+        self,
+        config: Optional[Union[MachineConfig, int]] = None,
+        install_firmware: bool = True,
+        scoma_home_of: Optional[List[int]] = None,
+    ) -> None:
+        if config is None:
+            config = default_config()
+        elif isinstance(config, int):
+            config = default_config(n_nodes=config)
+        config.validate()
+        self.config = config
+        self.engine = Engine()
+        self.stats = StatsRegistry(self.engine)
+        self.tracer = Tracer(self.engine)
+        self.network: Optional[ArcticNetwork] = None
+        if config.n_nodes > 1:
+            self.network = ArcticNetwork(
+                self.engine, config.network, config.n_nodes,
+                seed=config.seed, stats=self.stats,
+            )
+        self.nodes: List[NodeBoard] = [
+            NodeBoard(
+                self.engine, config, i,
+                self.network.port(i) if self.network else None,
+                self.stats, self.tracer,
+            )
+            for i in range(config.n_nodes)
+        ]
+        self._install_translation()
+        if install_firmware:
+            for node in self.nodes:
+                install_default_firmware(node, config.n_nodes, scoma_home_of)
+        for node in self.nodes:
+            node.start()
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _install_translation(self) -> None:
+        """Populate every node's translation table with the global
+        ``vdst = node*16 + queue`` convention (protocol queues ride the
+        high network priority)."""
+        if self.config.n_nodes > 16:
+            return  # beyond the byte-vdst convention; tables set manually
+        for node in self.nodes:
+            for dst in range(self.config.n_nodes):
+                for queue in range(16):
+                    priority = (
+                        PRIORITY_HIGH
+                        if queue in (SP_SERVICE_QUEUE, SP_PROTOCOL_QUEUE)
+                        else PRIORITY_LOW
+                    )
+                    node.ctrl.table.install(
+                        vdst_for(dst, queue),
+                        TranslationEntry(True, dst, queue, priority),
+                    )
+
+    # -- execution ------------------------------------------------------------------
+
+    def node(self, i: int) -> NodeBoard:
+        """Node board ``i``."""
+        return self.nodes[i]
+
+    def spawn(self, node: int, program: Callable[..., Generator],
+              *args: Any, name: Optional[str] = None, pid: int = 0) -> Process:
+        """Run ``program(api, *args)`` on node ``node``'s aP.
+
+        ``pid`` tags the program's bus operations for queue-ownership
+        protection (0 = kernel, accepted by every queue).
+        """
+        return self.nodes[node].ap.run(program, *args, name=name, pid=pid)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation (see :meth:`repro.sim.engine.Engine.run`)."""
+        return self.engine.run(until)
+
+    def run_until(self, event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` (often a spawned process) triggers."""
+        return self.engine.run_until_triggered(event, limit)
+
+    def run_all(self, procs: List[Process], limit: Optional[float] = None
+                ) -> List[Any]:
+        """Run until every listed process finishes; return their values."""
+        joined = self.engine.all_of(procs)
+        return self.engine.run_until_triggered(joined, limit)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in ns."""
+        return self.engine.now
+
+    # -- measurement ---------------------------------------------------------------------
+
+    def occupancies(self, node: int, window_ns: Optional[float] = None) -> dict:
+        """aP and sP busy fractions on one node."""
+        board = self.nodes[node]
+        return {
+            "ap": board.ap.busy.occupancy(window_ns),
+            "sp": board.sp.busy.occupancy(window_ns),
+        }
+
+    def report(self) -> dict:
+        """Flat snapshot of every registered statistic."""
+        return self.stats.report()

@@ -1,0 +1,97 @@
+"""Miss/overflow queue service: DRAM-resident receive queues.
+
+"Firmware will then process the message in the miss/overflow queue and
+write it to its non-resident (DRAM) location.  Selectively caching
+queues enables the NIU to support a large number of logical destinations
+efficiently, while using only a small amount of resources."
+
+A non-resident logical queue is a ring in ordinary DRAM.  Firmware
+appends entries with command-stream DRAM writes; the application polls
+the ring's producer counter with plain cached loads — the NIU's write
+invalidates the aP's cached copy through normal bus snooping, so polling
+is cheap until something actually arrives.
+
+Ring layout (all big-endian):
+
+====== =====================================
+offset contents
+====== =====================================
+0      producer count (u32, firmware-owned)
+4      consumer count (u32, reader-owned)
+64+    entries: 8-byte header + 88 payload
+====== =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Generator, Tuple
+
+from repro.common.errors import FirmwareError
+from repro.firmware.base import fw_dram_write
+from repro.niu.msgformat import ENTRY_BYTES, encode_rx_header
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.niu.sp import ServiceProcessor
+    from repro.sim.events import Event
+
+RING_HEADER_BYTES = 64
+
+
+@dataclass
+class DramRing:
+    """Descriptor of one DRAM-resident logical queue."""
+
+    base: int
+    depth: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Total DRAM footprint of the ring."""
+        return RING_HEADER_BYTES + self.depth * ENTRY_BYTES
+
+    def entry_addr(self, n: int) -> int:
+        """DRAM address of entry number ``n``."""
+        return self.base + RING_HEADER_BYTES + (n % self.depth) * ENTRY_BYTES
+
+
+def declare_dram_queue(sp: "ServiceProcessor", logical: int,
+                       base: int, depth: int) -> DramRing:
+    """Register a DRAM ring as the home of a non-resident logical queue."""
+    rings: Dict[int, DramRing] = sp.state.setdefault("dram_rings", {})
+    ring = DramRing(base, depth)
+    rings[logical] = ring
+    sp.state.setdefault("dram_ring_producer", {})[logical] = 0
+    return ring
+
+
+def missq_service(sp: "ServiceProcessor", event: Tuple
+                  ) -> Generator["Event", None, None]:
+    """The ``missq`` event handler: drain CTRL's miss/overflow queue."""
+    ctrl = sp.ctrl
+    rings: Dict[int, DramRing] = sp.state.get("dram_rings", {})
+    producers: Dict[int, int] = sp.state.get("dram_ring_producer", {})
+    while not ctrl.miss_queue.is_empty:
+        kind, logical, src, payload, flags = ctrl.miss_queue.try_get()
+        yield sp.compute(sp.fw.missq_service_insns)
+        ring = rings.get(logical)
+        if ring is None:
+            # no DRAM home declared: the message is dropped and logged —
+            # the OS would tear down the offending sender
+            sp.state.setdefault("missq_dropped", []).append((kind, logical, src))
+            ctrl.stats.counter(f"{ctrl.name}.missq_dropped").incr()
+            continue
+        n = producers[logical]
+        entry = encode_rx_header(src, len(payload), flags) + payload
+        yield from fw_dram_write(sp, ring.entry_addr(n), entry, fence=False)
+        producers[logical] = n + 1
+        yield from fw_dram_write(
+            sp, ring.base, (producers[logical] & 0xFFFFFFFF).to_bytes(4, "big"),
+            fence=False,
+        )
+        ctrl.stats.counter(f"{ctrl.name}.missq_serviced").incr()
+
+
+def install_missq_firmware(sp: "ServiceProcessor") -> None:
+    """Install the miss-queue service handler."""
+    sp.register("missq", missq_service)

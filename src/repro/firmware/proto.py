@@ -1,0 +1,211 @@
+"""Firmware wire protocol: message type bytes and field packing.
+
+Every message bound for an sP service/protocol queue starts with a type
+byte; the rest of the payload packs the fields below (big-endian,
+fixed-width).  Addresses travel as 6 bytes — comfortably covering the
+model's 32-bit physical space — and every message fits the 88-byte
+payload cap.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common.errors import FirmwareError
+
+# message types ---------------------------------------------------------------
+MSG_DMA_REQ = 1  #: aP -> local sP: perform a block memory transfer
+MSG_BT2_CHUNK = 3  #: sender sP -> receiver sP: Approach-2 data chunk
+MSG_BT2_DONE = 4  #: sender sP -> receiver sP: Approach-2 final notification
+MSG_NUMA_RREQ = 5  #: requester sP -> home sP: NUMA read
+MSG_NUMA_RREP = 6  #: home sP -> requester sP: NUMA read data
+MSG_NUMA_WREQ = 7  #: requester sP -> home sP: NUMA (posted) write
+MSG_SCOMA_RREQ = 8  #: requester sP -> home sP: S-COMA read-shared request
+MSG_SCOMA_WREQ = 9  #: requester sP -> home sP: S-COMA write-owned request
+MSG_SCOMA_INV = 10  #: home sP -> sharer sP: invalidate line
+MSG_SCOMA_INVACK = 11  #: sharer sP -> home sP: invalidation done
+MSG_SCOMA_WBREQ = 12  #: home sP -> owner sP: recall (writeback) line
+MSG_SCOMA_WBDATA = 13  #: owner sP -> home sP: recalled line data
+MSG_USER = 64  #: first type value free for applications/libraries
+
+
+def _addr6(addr: int) -> bytes:
+    if not (0 <= addr < 1 << 48):
+        raise FirmwareError(f"address {addr:#x} does not fit 6 bytes")
+    return addr.to_bytes(6, "big")
+
+
+def pack_dma_req(src_addr: int, dst_node: int, dst_addr: int, length: int,
+                 notify_queue: int, mode: int = 3) -> bytes:
+    """DMA request: fits one Basic message."""
+    return (bytes([MSG_DMA_REQ]) + _addr6(src_addr) + dst_node.to_bytes(2, "big")
+            + _addr6(dst_addr) + length.to_bytes(4, "big")
+            + bytes([notify_queue, mode]))
+
+
+def unpack_dma_req(p: bytes) -> Tuple[int, int, int, int, int, int]:
+    """Returns (src_addr, dst_node, dst_addr, length, notify_queue, mode)."""
+    if p[0] != MSG_DMA_REQ or len(p) < 21:
+        raise FirmwareError(f"not a DMA request: {p!r}")
+    return (int.from_bytes(p[1:7], "big"), int.from_bytes(p[7:9], "big"),
+            int.from_bytes(p[9:15], "big"), int.from_bytes(p[15:19], "big"),
+            p[19], p[20])
+
+
+def pack_bt2_chunk(dst_addr: int) -> bytes:
+    """Approach-2 chunk descriptor (data arrives as the TagOn attachment)."""
+    return bytes([MSG_BT2_CHUNK, 0]) + _addr6(dst_addr)
+
+
+def unpack_bt2_chunk(p: bytes) -> Tuple[int, bytes]:
+    """Returns (dst_addr, data)."""
+    if p[0] != MSG_BT2_CHUNK or len(p) < 8:
+        raise FirmwareError(f"not a BT2 chunk: {p!r}")
+    return int.from_bytes(p[2:8], "big"), p[8:]
+
+
+def pack_bt2_done(notify_queue: int, token: int) -> bytes:
+    """Approach-2 completion marker."""
+    return bytes([MSG_BT2_DONE, notify_queue]) + token.to_bytes(4, "big")
+
+
+def unpack_bt2_done(p: bytes) -> Tuple[int, int]:
+    """Returns (notify_queue, token)."""
+    if p[0] != MSG_BT2_DONE or len(p) < 6:
+        raise FirmwareError(f"not a BT2 done: {p!r}")
+    return p[1], int.from_bytes(p[2:6], "big")
+
+
+def pack_numa_rreq(addr: int, size: int) -> bytes:
+    """NUMA read request."""
+    return bytes([MSG_NUMA_RREQ, size]) + _addr6(addr)
+
+
+def unpack_numa_rreq(p: bytes) -> Tuple[int, int]:
+    """Returns (addr, size)."""
+    if p[0] != MSG_NUMA_RREQ:
+        raise FirmwareError(f"not a NUMA read request: {p!r}")
+    return int.from_bytes(p[2:8], "big"), p[1]
+
+
+def pack_numa_rrep(addr: int, data: bytes) -> bytes:
+    """NUMA read reply."""
+    return bytes([MSG_NUMA_RREP, len(data)]) + _addr6(addr) + data
+
+
+def unpack_numa_rrep(p: bytes) -> Tuple[int, bytes]:
+    """Returns (addr, data)."""
+    if p[0] != MSG_NUMA_RREP:
+        raise FirmwareError(f"not a NUMA read reply: {p!r}")
+    return int.from_bytes(p[2:8], "big"), p[8 : 8 + p[1]]
+
+
+def pack_numa_wreq(addr: int, data: bytes) -> bytes:
+    """NUMA posted-write request."""
+    return bytes([MSG_NUMA_WREQ, len(data)]) + _addr6(addr) + data
+
+
+def unpack_numa_wreq(p: bytes) -> Tuple[int, bytes]:
+    """Returns (addr, data)."""
+    if p[0] != MSG_NUMA_WREQ:
+        raise FirmwareError(f"not a NUMA write request: {p!r}")
+    return int.from_bytes(p[2:8], "big"), p[8 : 8 + p[1]]
+
+
+def pack_scoma_req(want_rw: bool, line_offset: int, requester: int) -> bytes:
+    """S-COMA read/write ownership request (line offset in the window)."""
+    t = MSG_SCOMA_WREQ if want_rw else MSG_SCOMA_RREQ
+    return bytes([t, requester]) + line_offset.to_bytes(4, "big")
+
+
+def unpack_scoma_req(p: bytes) -> Tuple[bool, int, int]:
+    """Returns (want_rw, line_offset, requester)."""
+    if p[0] not in (MSG_SCOMA_RREQ, MSG_SCOMA_WREQ):
+        raise FirmwareError(f"not an S-COMA request: {p!r}")
+    return p[0] == MSG_SCOMA_WREQ, int.from_bytes(p[2:6], "big"), p[1]
+
+
+def pack_scoma_inv(line_offset: int) -> bytes:
+    """Invalidate one line at a sharer."""
+    return bytes([MSG_SCOMA_INV, 0]) + line_offset.to_bytes(4, "big")
+
+
+def unpack_scoma_inv(p: bytes) -> int:
+    """Returns line_offset."""
+    if p[0] != MSG_SCOMA_INV:
+        raise FirmwareError(f"not an S-COMA invalidate: {p!r}")
+    return int.from_bytes(p[2:6], "big")
+
+
+def pack_scoma_invack(line_offset: int) -> bytes:
+    """Acknowledge an invalidation."""
+    return bytes([MSG_SCOMA_INVACK, 0]) + line_offset.to_bytes(4, "big")
+
+
+def unpack_scoma_invack(p: bytes) -> int:
+    """Returns line_offset."""
+    if p[0] != MSG_SCOMA_INVACK:
+        raise FirmwareError(f"not an S-COMA inv-ack: {p!r}")
+    return int.from_bytes(p[2:6], "big")
+
+
+def pack_scoma_wbreq(line_offset: int, downgrade_to_ro: bool) -> bytes:
+    """Recall a modified line from its owner."""
+    return bytes([MSG_SCOMA_WBREQ, 1 if downgrade_to_ro else 0]) + \
+        line_offset.to_bytes(4, "big")
+
+
+def unpack_scoma_wbreq(p: bytes) -> Tuple[int, bool]:
+    """Returns (line_offset, downgrade_to_ro)."""
+    if p[0] != MSG_SCOMA_WBREQ:
+        raise FirmwareError(f"not an S-COMA writeback request: {p!r}")
+    return int.from_bytes(p[2:6], "big"), bool(p[1])
+
+
+def pack_scoma_wbdata(line_offset: int, data: bytes) -> bytes:
+    """Recalled line data back to home (one 32-byte line fits easily)."""
+    return bytes([MSG_SCOMA_WBDATA, len(data)]) + \
+        line_offset.to_bytes(4, "big") + data
+
+
+def unpack_scoma_wbdata(p: bytes) -> Tuple[int, bytes]:
+    """Returns (line_offset, data)."""
+    if p[0] != MSG_SCOMA_WBDATA:
+        raise FirmwareError(f"not S-COMA writeback data: {p!r}")
+    return int.from_bytes(p[2:6], "big"), p[6 : 6 + p[1]]
+
+
+# -- S-COMA eviction (capacity management) -------------------------------------
+#
+# A node may voluntarily drop a cached line to reclaim its L3 frame:
+# clean (RO) evictions just tell the home to forget the sharer; dirty
+# (RW) evictions carry the line data home.  Type values sit above the
+# base protocol block.
+
+MSG_SCOMA_EVICT = 14  #: sharer -> home: drop me from the sharer set
+MSG_SCOMA_EVICT_DIRTY = 15  #: owner -> home: here is the data, I'm out
+
+
+def pack_scoma_evict(line_offset: int) -> bytes:
+    """Clean eviction notice."""
+    return bytes([MSG_SCOMA_EVICT, 0]) + line_offset.to_bytes(4, "big")
+
+
+def unpack_scoma_evict(p: bytes) -> int:
+    """Returns line_offset."""
+    if p[0] != MSG_SCOMA_EVICT:
+        raise FirmwareError(f"not an S-COMA eviction: {p!r}")
+    return int.from_bytes(p[2:6], "big")
+
+
+def pack_scoma_evict_dirty(line_offset: int, data: bytes) -> bytes:
+    """Dirty eviction: the line data travels home."""
+    return bytes([MSG_SCOMA_EVICT_DIRTY, len(data)]) + \
+        line_offset.to_bytes(4, "big") + data
+
+
+def unpack_scoma_evict_dirty(p: bytes):
+    """Returns (line_offset, data)."""
+    if p[0] != MSG_SCOMA_EVICT_DIRTY:
+        raise FirmwareError(f"not a dirty S-COMA eviction: {p!r}")
+    return int.from_bytes(p[2:6], "big"), p[6 : 6 + p[1]]

@@ -1,0 +1,466 @@
+"""S-COMA firmware: a home-based MSI directory protocol over clsSRAM.
+
+"A simple, cache only memory access mechanism (S-COMA) allows a region
+of DRAM to be used as a level 3 (L3) cache.  The single ported SRAM
+(clsSRAM) is used to maintain cache-line state bits that are checked by
+the aBIU.  If the check fails, the bus operation is passed to firmware
+for servicing.  Data supplied by a remote node for a pending read can be
+received via the remote command queue to avoid firmware execution on the
+return."
+
+Protocol summary (line granularity, home = assigned per line):
+
+* every node's S-COMA DRAM window holds a frame per line; the home's
+  frame is the memory copy;
+* a read miss sends ``RREQ`` to the home, which forwards the line as a
+  ``CmdWriteDram(set_cls_state=RO)`` straight into the requester's frame
+  — the requester's retried bus operation then completes with **no
+  requester-side firmware on the return path** (the paper's key trick);
+* a write miss/upgrade sends ``WREQ``; the home invalidates the sharers
+  (``INV``/``INVACK``) or recalls the exclusive owner (``WBREQ``/
+  ``WBDATA``) before granting ownership;
+* the home's own aP participates as an implicit sharer whose "frame"
+  *is* memory, so home-side transitions only flip clsSRAM bits and kill
+  stale L2 lines.
+
+Requests that hit a line mid-transition queue on the directory entry and
+replay in arrival order, so the protocol is free of request/request
+races; all protocol traffic uses the high network priority, keeping
+replies from deadlocking behind bulk data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.bus.ops import BusOpType
+from repro.common.errors import FirmwareError
+from repro.firmware import proto
+from repro.firmware.base import (
+    fw_dram_read,
+    fw_dram_write,
+    fw_send,
+    register_msg_handler,
+)
+from repro.niu.clssram import CLS_INVALID, CLS_RO, CLS_RW
+from repro.niu.commands import (
+    LOCAL_CMDQ_0,
+    CmdBusOp,
+    CmdForward,
+    CmdWriteDram,
+)
+from repro.niu.niu import SP_PROTOCOL_QUEUE, SP_TX_PROTOCOL, vdst_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.niu.sp import ServiceProcessor
+    from repro.sim.events import Event
+
+# directory states
+HOME_VALID = "home"  #: home frame is the memory copy; ``sharers`` may read
+EXCLUSIVE = "excl"  #: one remote owner holds the only valid (RW) copy
+BUSY = "busy"  #: invalidation or recall in flight
+
+
+@dataclass
+class DirEntry:
+    """Home-side directory state for one line."""
+
+    state: str = HOME_VALID
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+    pending_acks: int = 0
+    #: the request being completed while BUSY: (want_rw, requester).
+    pending: Optional[Tuple[bool, int]] = None
+    #: recalled data captured by WBDATA for the pending grant.
+    wb_data: Optional[bytes] = None
+    #: queued requests that arrived while BUSY.
+    waiters: List[Tuple[bool, int]] = field(default_factory=list)
+
+
+class ScomaState:
+    """Per-node S-COMA firmware state."""
+
+    def __init__(self, home_of: List[int], scoma_base: int, line_bytes: int,
+                 staging: int) -> None:
+        self.home_of = home_of
+        self.scoma_base = scoma_base
+        self.line_bytes = line_bytes
+        self.staging = staging
+        self.directory: Dict[int, DirEntry] = {}
+
+    def line_of_offset(self, offset: int) -> int:
+        return offset // self.line_bytes
+
+    def frame_addr(self, line: int) -> int:
+        return self.scoma_base + line * self.line_bytes
+
+    def entry(self, line: int) -> DirEntry:
+        if line not in self.directory:
+            self.directory[line] = DirEntry()
+        return self.directory[line]
+
+
+def setup_scoma(sp: "ServiceProcessor", home_of: List[int]) -> None:
+    """Install S-COMA firmware and initialize clsSRAM home states."""
+    niu = sp.state["niu"]
+    cls = niu.cls
+    staging = niu.alloc_ssram(64)
+    st = ScomaState(home_of, cls.cover_base, cls.line_bytes, staging)
+    sp.state["scoma"] = st
+    for line, home in enumerate(home_of):
+        cls.set_state(line, CLS_RW if home == sp.node_id else CLS_INVALID)
+    sp.register("scoma_miss", handle_miss)
+    register_msg_handler(sp, proto.MSG_SCOMA_RREQ, handle_request_msg)
+    register_msg_handler(sp, proto.MSG_SCOMA_WREQ, handle_request_msg)
+    register_msg_handler(sp, proto.MSG_SCOMA_INV, handle_invalidate)
+    register_msg_handler(sp, proto.MSG_SCOMA_INVACK, handle_invack)
+    register_msg_handler(sp, proto.MSG_SCOMA_WBREQ, handle_writeback_req)
+    register_msg_handler(sp, proto.MSG_SCOMA_WBDATA, handle_writeback_data)
+    install_eviction(sp)
+
+
+# ----------------------------------------------------------------------
+# requester side
+# ----------------------------------------------------------------------
+
+_WRITE_OPS = (BusOpType.WRITE, BusOpType.WRITE_LINE, BusOpType.RWITM,
+              BusOpType.KILL)
+
+
+def handle_miss(sp: "ServiceProcessor", event: Tuple
+                ) -> Generator["Event", None, None]:
+    """An aP access failed the clsSRAM check: request the line."""
+    _kind, op, line_base = event
+    yield sp.compute(sp.fw.scoma_miss_insns)
+    st: ScomaState = sp.state["scoma"]
+    line = (line_base - st.scoma_base) // st.line_bytes
+    want_rw = op in _WRITE_OPS
+    home = st.home_of[line]
+    if home == sp.node_id:
+        yield from home_request(sp, want_rw, line, sp.node_id)
+    else:
+        yield from fw_send(
+            sp, vdst_for(home, SP_PROTOCOL_QUEUE),
+            proto.pack_scoma_req(want_rw, line * st.line_bytes, sp.node_id),
+            queue=SP_TX_PROTOCOL,
+        )
+
+
+# ----------------------------------------------------------------------
+# home side
+# ----------------------------------------------------------------------
+
+def handle_request_msg(sp: "ServiceProcessor", src: int, payload: bytes
+                       ) -> Generator["Event", None, None]:
+    """RREQ/WREQ arriving at the home node."""
+    want_rw, offset, requester = proto.unpack_scoma_req(payload)
+    yield sp.compute(sp.fw.scoma_home_insns)
+    st: ScomaState = sp.state["scoma"]
+    yield from home_request(sp, want_rw, st.line_of_offset(offset), requester)
+
+
+def home_request(sp: "ServiceProcessor", want_rw: bool, line: int,
+                 requester: int) -> Generator["Event", None, None]:
+    """Serve (or queue) one coherence request at the home."""
+    st: ScomaState = sp.state["scoma"]
+    if st.home_of[line] != sp.node_id:
+        raise FirmwareError(f"node {sp.node_id} is not home for line {line}")
+    entry = st.entry(line)
+    if entry.state == BUSY:
+        entry.waiters.append((want_rw, requester))
+        return
+    if entry.state == HOME_VALID:
+        if not want_rw:
+            yield from _grant(sp, line, False, requester, None)
+            return
+        # write request: invalidate every other sharer first
+        targets = entry.sharers - {requester}
+        if targets:
+            entry.state = BUSY
+            entry.pending = (True, requester)
+            entry.pending_acks = len(targets)
+            for sharer in sorted(targets):
+                yield from fw_send(
+                    sp, vdst_for(sharer, SP_PROTOCOL_QUEUE),
+                    proto.pack_scoma_inv(line * st.line_bytes),
+                    queue=SP_TX_PROTOCOL,
+                )
+            return
+        yield from _grant(sp, line, True, requester, None)
+        return
+    # EXCLUSIVE: recall the line from its owner
+    if entry.owner == requester:
+        # stale duplicate: the requester was invalidated after sending its
+        # first request and re-missed before the (in-flight) grant landed.
+        # The grant will satisfy the retrying access; dropping the
+        # duplicate here is the only safe response — re-granting would
+        # overwrite the owner's (possibly modified) frame with stale home
+        # data.
+        sp.stats.counter(f"{sp.name}.scoma_dup_requests").incr()
+        return
+    entry.state = BUSY
+    entry.pending = (want_rw, requester)
+    yield from fw_send(
+        sp, vdst_for(entry.owner, SP_PROTOCOL_QUEUE),
+        proto.pack_scoma_wbreq(line * st.line_bytes,
+                               downgrade_to_ro=not want_rw),
+        queue=SP_TX_PROTOCOL,
+    )
+
+
+def _grant(sp: "ServiceProcessor", line: int, want_rw: bool, requester: int,
+           data: Optional[bytes]) -> Generator["Event", None, None]:
+    """Complete a request at the home: move data, set states, update dir."""
+    st: ScomaState = sp.state["scoma"]
+    cls = sp.state["niu"].cls
+    entry = st.entry(line)
+    frame = st.frame_addr(line)
+    if requester != sp.node_id:
+        if data is None:
+            data = yield from fw_dram_read(sp, frame, st.line_bytes, st.staging)
+        new_state = CLS_RW if want_rw else CLS_RO
+        yield from sp.sbiu.enqueue_command(
+            LOCAL_CMDQ_0,
+            CmdForward(requester, CmdWriteDram(frame, data,
+                                               set_cls_state=new_state)),
+        )
+    if want_rw:
+        if requester == sp.node_id:
+            yield from _set_own_cls(sp, line, CLS_RW)
+        else:
+            # home loses its copy: state bits + stale L2 line
+            yield from _set_own_cls(sp, line, CLS_INVALID, kill_l2=True)
+            entry.state = EXCLUSIVE
+            entry.owner = requester
+            entry.sharers = set()
+            return
+        entry.state = HOME_VALID
+        entry.owner = None
+        entry.sharers = set()
+        return
+    # read grant: home frame stays the memory copy, readable by all
+    if requester == sp.node_id:
+        yield from _set_own_cls(sp, line, CLS_RO)
+    else:
+        entry.sharers.add(requester)
+        if cls.state(line) == CLS_RW:
+            yield from _set_own_cls(sp, line, CLS_RO)
+    entry.state = HOME_VALID
+    entry.owner = None
+
+
+def _set_own_cls(sp: "ServiceProcessor", line: int, state: int,
+                 kill_l2: bool = False) -> Generator["Event", None, None]:
+    st: ScomaState = sp.state["scoma"]
+    cls = sp.state["niu"].cls
+    yield sp.compute(sp.fw.cls_update_insns)
+    yield from sp.sbiu.immediate(lambda: cls.set_state(line, state))
+    if kill_l2:
+        yield from sp.sbiu.enqueue_command(
+            LOCAL_CMDQ_0,
+            CmdBusOp(BusOpType.KILL, st.frame_addr(line), st.line_bytes),
+        )
+
+
+def _drain_waiters(sp: "ServiceProcessor", line: int
+                   ) -> Generator["Event", None, None]:
+    """Replay requests queued while the line was BUSY."""
+    st: ScomaState = sp.state["scoma"]
+    entry = st.entry(line)
+    while entry.waiters and entry.state != BUSY:
+        want_rw, requester = entry.waiters.pop(0)
+        yield from home_request(sp, want_rw, line, requester)
+
+
+# ----------------------------------------------------------------------
+# sharer / owner sides
+# ----------------------------------------------------------------------
+
+def handle_invalidate(sp: "ServiceProcessor", src: int, payload: bytes
+                      ) -> Generator["Event", None, None]:
+    """A sharer drops its copy and acknowledges."""
+    offset = proto.unpack_scoma_inv(payload)
+    yield sp.compute(sp.fw.cls_update_insns)
+    st: ScomaState = sp.state["scoma"]
+    line = st.line_of_offset(offset)
+    yield from _set_own_cls(sp, line, CLS_INVALID, kill_l2=True)
+    yield from fw_send(
+        sp, vdst_for(src, SP_PROTOCOL_QUEUE),
+        proto.pack_scoma_invack(offset), queue=SP_TX_PROTOCOL,
+    )
+
+
+def handle_invack(sp: "ServiceProcessor", src: int, payload: bytes
+                  ) -> Generator["Event", None, None]:
+    """Home collects invalidation acks; the last one releases the grant."""
+    offset = proto.unpack_scoma_invack(payload)
+    yield sp.compute(sp.fw.scoma_home_insns)
+    st: ScomaState = sp.state["scoma"]
+    line = st.line_of_offset(offset)
+    entry = st.entry(line)
+    if entry.state != BUSY or entry.pending is None:
+        raise FirmwareError(f"unexpected INVACK for line {line}")
+    entry.pending_acks -= 1
+    if entry.pending_acks > 0:
+        return
+    want_rw, requester = entry.pending
+    entry.pending = None
+    entry.sharers = set()
+    entry.state = HOME_VALID
+    yield from _grant(sp, line, want_rw, requester, None)
+    yield from _drain_waiters(sp, line)
+
+
+def handle_writeback_req(sp: "ServiceProcessor", src: int, payload: bytes
+                         ) -> Generator["Event", None, None]:
+    """The exclusive owner returns its (possibly dirty) line to the home."""
+    offset, downgrade_to_ro = proto.unpack_scoma_wbreq(payload)
+    yield sp.compute(sp.fw.scoma_fill_insns)
+    st: ScomaState = sp.state["scoma"]
+    line = st.line_of_offset(offset)
+    frame = st.frame_addr(line)
+    # force any newer L2 data into the DRAM frame, then read it
+    yield from sp.sbiu.enqueue_command(
+        LOCAL_CMDQ_0, CmdBusOp(BusOpType.FLUSH, frame, st.line_bytes)
+    )
+    data = yield from fw_dram_read(sp, frame, st.line_bytes, st.staging)
+    if downgrade_to_ro:
+        yield from _set_own_cls(sp, line, CLS_RO)
+    else:
+        yield from _set_own_cls(sp, line, CLS_INVALID)
+    yield from fw_send(
+        sp, vdst_for(src, SP_PROTOCOL_QUEUE),
+        proto.pack_scoma_wbdata(offset, data), queue=SP_TX_PROTOCOL,
+    )
+
+
+def handle_writeback_data(sp: "ServiceProcessor", src: int, payload: bytes
+                          ) -> Generator["Event", None, None]:
+    """Home installs recalled data and completes the pending request."""
+    offset, data = proto.unpack_scoma_wbdata(payload)
+    yield sp.compute(sp.fw.scoma_home_insns)
+    st: ScomaState = sp.state["scoma"]
+    line = st.line_of_offset(offset)
+    entry = st.entry(line)
+    if entry.state != BUSY or entry.pending is None:
+        # a dirty eviction raced ahead of the recall and already settled
+        # the line; this WBDATA is the recall's late echo — drop it
+        sp.stats.counter(f"{sp.name}.scoma_stale_wbdata").incr()
+        return
+    want_rw, requester = entry.pending
+    old_owner = entry.owner
+    entry.pending = None
+    entry.owner = None
+    entry.state = HOME_VALID
+    entry.sharers = set() if want_rw else {old_owner}
+    yield from fw_dram_write(sp, st.frame_addr(line), data, fence=False)
+    if not want_rw:
+        # the home frame is the memory copy again: home may read it
+        yield from _set_own_cls(sp, line, CLS_RO)
+    yield from _grant(sp, line, want_rw, requester, data)
+    yield from _drain_waiters(sp, line)
+
+
+# ----------------------------------------------------------------------
+# capacity management: voluntary frame eviction
+# ----------------------------------------------------------------------
+#
+# The L3 "cache" is local DRAM; when the OS wants a frame back it asks
+# firmware to evict the line.  Clean (RO) copies silently leave the
+# sharer set; a dirty (RW) copy carries its data home first.  Evictions
+# race benignly with the home's own invalidations/recalls: the home
+# treats an eviction that crosses a recall as the recall's writeback,
+# and late WBDATA for an already-settled line is counted and dropped.
+
+#: request type for the local "evict this line" ask (application range).
+MSG_SCOMA_EVICT_REQ = proto.MSG_USER + 2
+
+
+def pack_evict_req(line_offset: int) -> bytes:
+    """Local eviction request (aP -> own sP service queue)."""
+    return bytes([MSG_SCOMA_EVICT_REQ, 0]) + line_offset.to_bytes(4, "big")
+
+
+def install_eviction(sp: "ServiceProcessor") -> None:
+    """Enable eviction support (registered by setup_scoma)."""
+    register_msg_handler(sp, MSG_SCOMA_EVICT_REQ, handle_evict_request)
+    register_msg_handler(sp, proto.MSG_SCOMA_EVICT, handle_evict_notice)
+    register_msg_handler(sp, proto.MSG_SCOMA_EVICT_DIRTY, handle_evict_dirty)
+
+
+def handle_evict_request(sp: "ServiceProcessor", src: int, payload: bytes
+                         ) -> Generator["Event", None, None]:
+    """Local side: drop the line, telling the home what it needs to know."""
+    offset = int.from_bytes(payload[2:6], "big")
+    yield sp.compute(sp.fw.scoma_miss_insns)
+    st: ScomaState = sp.state["scoma"]
+    cls = sp.state["niu"].cls
+    line = st.line_of_offset(offset)
+    home = st.home_of[line]
+    state = cls.state(line)
+    if home == sp.node_id:
+        # the home frame IS memory; nothing to evict
+        return
+    if state == CLS_RO:
+        yield from _set_own_cls(sp, line, CLS_INVALID, kill_l2=True)
+        yield from fw_send(
+            sp, vdst_for(home, SP_PROTOCOL_QUEUE),
+            proto.pack_scoma_evict(offset), queue=SP_TX_PROTOCOL,
+        )
+    elif state == CLS_RW:
+        # flush newer L2 data into the frame, read it, ship it home
+        yield from sp.sbiu.enqueue_command(
+            LOCAL_CMDQ_0,
+            CmdBusOp(BusOpType.FLUSH, st.frame_addr(line), st.line_bytes),
+        )
+        data = yield from fw_dram_read(sp, st.frame_addr(line),
+                                       st.line_bytes, st.staging)
+        yield from _set_own_cls(sp, line, CLS_INVALID)
+        yield from fw_send(
+            sp, vdst_for(home, SP_PROTOCOL_QUEUE),
+            proto.pack_scoma_evict_dirty(offset, data),
+            queue=SP_TX_PROTOCOL,
+        )
+    # INVALID/PENDING: nothing cached here; the request is a no-op
+
+
+def handle_evict_notice(sp: "ServiceProcessor", src: int, payload: bytes
+                        ) -> Generator["Event", None, None]:
+    """Home side: a sharer dropped its clean copy."""
+    offset = proto.unpack_scoma_evict(payload)
+    yield sp.compute(sp.fw.scoma_home_insns)
+    st: ScomaState = sp.state["scoma"]
+    entry = st.entry(st.line_of_offset(offset))
+    entry.sharers.discard(src)
+
+
+def handle_evict_dirty(sp: "ServiceProcessor", src: int, payload: bytes
+                       ) -> Generator["Event", None, None]:
+    """Home side: the owner evicted; its data re-validates the home frame.
+
+    If a recall (WBREQ) was already in flight for this line, the eviction
+    *is* the writeback: complete the pending request with this data.
+    """
+    offset, data = proto.unpack_scoma_evict_dirty(payload)
+    yield sp.compute(sp.fw.scoma_home_insns)
+    st: ScomaState = sp.state["scoma"]
+    line = st.line_of_offset(offset)
+    entry = st.entry(line)
+    yield from fw_dram_write(sp, st.frame_addr(line), data, fence=False)
+    if entry.state == BUSY and entry.pending is not None:
+        want_rw, requester = entry.pending
+        entry.pending = None
+        entry.owner = None
+        entry.state = HOME_VALID
+        entry.sharers = set()
+        if not want_rw:
+            yield from _set_own_cls(sp, line, CLS_RO)
+        yield from _grant(sp, line, want_rw, requester, data)
+        yield from _drain_waiters(sp, line)
+        return
+    if entry.owner == src:
+        entry.owner = None
+        entry.state = HOME_VALID
+        entry.sharers = set()
+    yield from _set_own_cls(sp, line, CLS_RW)

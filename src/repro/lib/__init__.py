@@ -1,0 +1,7 @@
+"""Layer-0 libraries built on the message-passing mechanisms."""
+
+from repro.lib.activemsg import AmEndpoint
+from repro.lib.channels import TokenChannel
+from repro.lib.mpi import MiniMPI, MpiRank
+
+__all__ = ["MiniMPI", "MpiRank", "TokenChannel", "AmEndpoint"]

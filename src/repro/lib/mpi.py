@@ -1,0 +1,225 @@
+"""A miniature MPI over Basic messages (the paper's layer-0 example).
+
+"Library functions generally run within the communicating process ...
+For example, we will provide an MPI library that presents the usual MPI
+interface to the user code but uses the underlying NIU support for the
+actual communication."
+
+:class:`MiniMPI` is that library: ranks map to nodes, large sends
+fragment into Basic messages, receives reassemble and match on
+``(source, tag)``, and the usual collectives (barrier, bcast, reduce,
+allreduce, gather) are built from point-to-point — all of it ordinary
+user code over :class:`~repro.mp.basic.BasicPort`.
+
+Fragment format (within one Basic payload, 88-byte cap):
+
+====== ========================================
+bytes  field
+====== ========================================
+0-1    tag
+2-5    total message length
+6-9    fragment offset
+10+    fragment data (up to 78 bytes)
+====== ========================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.common.errors import ProgramError
+from repro.mp.basic import BasicPort
+from repro.niu.niu import vdst_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import StarTVoyager
+    from repro.node.ap import ApApi
+    from repro.sim.events import Event
+
+FRAG_HEADER = 10
+FRAG_DATA = 78
+#: collective traffic uses tags 0xFF00..0xFFFF, sequenced per collective
+#: call so that back-to-back collectives never steal each other's messages.
+_COLL_TAG_BASE = 0xFF00
+
+
+class MiniMPI:
+    """Factory for per-rank communicators over one (tx, rx) queue pair."""
+
+    def __init__(self, machine: "StarTVoyager", tx_index: int = 2,
+                 rx_logical: int = 2) -> None:
+        self.machine = machine
+        self.size = machine.config.n_nodes
+        self.tx_index = tx_index
+        self.rx_logical = rx_logical
+        self._ranks: Dict[int, "MpiRank"] = {}
+
+    def rank(self, node: int) -> "MpiRank":
+        """The communicator handle of one rank (cached per node)."""
+        if node not in self._ranks:
+            self._ranks[node] = MpiRank(self, node)
+        return self._ranks[node]
+
+
+class MpiRank:
+    """One rank's communicator: point-to-point plus collectives."""
+
+    def __init__(self, mpi: MiniMPI, node: int) -> None:
+        self.mpi = mpi
+        self.rank = node
+        self.size = mpi.size
+        self.port = BasicPort(mpi.machine.node(node), mpi.tx_index,
+                              mpi.rx_logical)
+        #: out-of-order arrivals waiting for a matching recv.
+        self._mailbox: Dict[Tuple[int, int], List[bytes]] = {}
+        #: partially reassembled messages: (src, tag) -> (total, bytearray, got)
+        self._partial: Dict[Tuple[int, int], Tuple[int, bytearray, int]] = {}
+        #: collective-call sequence number (identical across ranks because
+        #: every rank executes the same collective sequence).
+        self._coll_seq = 0
+
+    # -- point to point ------------------------------------------------------
+
+    def send(self, api: "ApApi", dst: int, data: bytes, tag: int = 0
+             ) -> Generator["Event", None, None]:
+        """Blocking-buffered send of arbitrary length."""
+        if not (0 <= dst < self.size):
+            raise ProgramError(f"no rank {dst}")
+        if not (0 <= tag <= 0xFFFF):
+            raise ProgramError(f"tag {tag} outside 16 bits")
+        vdst = vdst_for(dst, self.mpi.rx_logical)
+        total = len(data)
+        offset = 0
+        while True:
+            frag = data[offset : offset + FRAG_DATA]
+            payload = (tag.to_bytes(2, "big") + total.to_bytes(4, "big")
+                       + offset.to_bytes(4, "big") + frag)
+            yield from self.port.send(api, vdst, payload)
+            offset += len(frag)
+            if offset >= total:
+                break
+
+    def recv(self, api: "ApApi", src: Optional[int] = None,
+             tag: Optional[int] = None
+             ) -> Generator["Event", None, Tuple[int, int, bytes]]:
+        """Blocking receive; returns ``(src, tag, data)``.
+
+        ``None`` wildcards match any source / any tag, in arrival order.
+        """
+        while True:
+            hit = self._match(src, tag)
+            if hit is not None:
+                return hit
+            frag_src, payload = yield from self.port.recv(api)
+            self._absorb(frag_src, payload)
+
+    def _match(self, src: Optional[int], tag: Optional[int]
+               ) -> Optional[Tuple[int, int, bytes]]:
+        for (s, t), queue in self._mailbox.items():
+            if queue and (src is None or s == src) and (tag is None or t == tag):
+                data = queue.pop(0)
+                return s, t, data
+        return None
+
+    def _absorb(self, src: int, payload: bytes) -> None:
+        tag = int.from_bytes(payload[0:2], "big")
+        total = int.from_bytes(payload[2:6], "big")
+        offset = int.from_bytes(payload[6:10], "big")
+        frag = payload[FRAG_HEADER:]
+        key = (src, tag)
+        if total <= FRAG_DATA and offset == 0:
+            self._mailbox.setdefault(key, []).append(frag[:total])
+            return
+        if key not in self._partial:
+            self._partial[key] = (total, bytearray(total), 0)
+        exp_total, buf, got = self._partial[key]
+        if exp_total != total:
+            raise ProgramError(
+                f"interleaved same-(src,tag) messages of different sizes "
+                f"({exp_total} vs {total}); use distinct tags"
+            )
+        buf[offset : offset + len(frag)] = frag
+        got += len(frag)
+        if got >= total:
+            del self._partial[key]
+            self._mailbox.setdefault(key, []).append(bytes(buf))
+        else:
+            self._partial[key] = (total, buf, got)
+
+    # -- collectives -------------------------------------------------------------
+
+    def _coll_tag(self) -> int:
+        tag = _COLL_TAG_BASE | (self._coll_seq & 0xFF)
+        self._coll_seq += 1
+        return tag
+
+    def barrier(self, api: "ApApi") -> Generator["Event", None, None]:
+        """All ranks synchronize (gather-to-0 then broadcast release)."""
+        tag = self._coll_tag()
+        if self.size == 1:
+            return
+        if self.rank == 0:
+            for _ in range(self.size - 1):
+                yield from self.recv(api, tag=tag)
+            for dst in range(1, self.size):
+                yield from self.send(api, dst, b"r", tag=tag)
+        else:
+            yield from self.send(api, 0, b"a", tag=tag)
+            yield from self.recv(api, src=0, tag=tag)
+
+    def bcast(self, api: "ApApi", data: Optional[bytes], root: int = 0
+              ) -> Generator["Event", None, bytes]:
+        """Broadcast ``data`` from ``root``; every rank returns it."""
+        tag = self._coll_tag()
+        if self.size == 1:
+            return data or b""
+        if self.rank == root:
+            assert data is not None, "root must supply the data"
+            for dst in range(self.size):
+                if dst != root:
+                    yield from self.send(api, dst, data, tag=tag)
+            return data
+        _src, _tag, got = yield from self.recv(api, src=root, tag=tag)
+        return got
+
+    def gather(self, api: "ApApi", data: bytes, root: int = 0
+               ) -> Generator["Event", None, Optional[List[bytes]]]:
+        """Gather per-rank byte strings at ``root`` (rank order)."""
+        tag = self._coll_tag()
+        if self.rank == root:
+            parts: List[Optional[bytes]] = [None] * self.size
+            parts[root] = data
+            for _ in range(self.size - 1):
+                src, _tag, got = yield from self.recv(api, tag=tag)
+                parts[src] = got
+            return parts  # type: ignore[return-value]
+        yield from self.send(api, root, data, tag=tag)
+        return None
+
+    def reduce(self, api: "ApApi", value: int, root: int = 0,
+               op: Callable[[int, int], int] = lambda a, b: a + b
+               ) -> Generator["Event", None, Optional[int]]:
+        """Reduce 64-bit integers to ``root`` with ``op`` (default sum)."""
+        tag = self._coll_tag()
+        if self.rank == root:
+            acc = value
+            for _ in range(self.size - 1):
+                _src, _tag, got = yield from self.recv(api, tag=tag)
+                acc = op(acc, int.from_bytes(got, "big", signed=True))
+            return acc
+        yield from self.send(api, root,
+                             value.to_bytes(8, "big", signed=True),
+                             tag=tag)
+        return None
+
+    def allreduce(self, api: "ApApi", value: int,
+                  op: Callable[[int, int], int] = lambda a, b: a + b
+                  ) -> Generator["Event", None, int]:
+        """Reduce then broadcast; every rank returns the result."""
+        acc = yield from self.reduce(api, value, root=0, op=op)
+        if self.rank == 0:
+            result = yield from self.bcast(
+                api, acc.to_bytes(8, "big", signed=True), root=0)
+        else:
+            result = yield from self.bcast(api, None, root=0)
+        return int.from_bytes(result, "big", signed=True)

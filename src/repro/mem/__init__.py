@@ -1,0 +1,20 @@
+"""Memory substrate: backing stores, DRAM, SRAMs, L2 cache, address maps."""
+
+from repro.mem.address import AccessMode, AddressMap, Region
+from repro.mem.backing import ByteBacking
+from repro.mem.cache import LineState, SnoopingL2
+from repro.mem.dram import DRAM
+from repro.mem.sram import PORT_BUS, PORT_IBUS, DualPortedSRAM
+
+__all__ = [
+    "AccessMode",
+    "AddressMap",
+    "Region",
+    "ByteBacking",
+    "DRAM",
+    "DualPortedSRAM",
+    "PORT_BUS",
+    "PORT_IBUS",
+    "SnoopingL2",
+    "LineState",
+]

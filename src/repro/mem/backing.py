@@ -1,0 +1,68 @@
+"""Byte-addressable backing stores.
+
+Every memory in the model (DRAM, the NIU SRAMs, cache line frames) holds
+*real bytes* in a ``bytearray``.  That is what makes the test suite able
+to assert end-to-end data integrity: a DMA of random bytes must arrive
+byte-exact at the far node, through every queue, packet, and bus crossing.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import AddressError
+
+
+class ByteBacking:
+    """A bounds-checked window of raw bytes starting at offset zero."""
+
+    __slots__ = ("size", "_data", "name")
+
+    def __init__(self, size: int, name: str = "mem", fill: int = 0) -> None:
+        if size <= 0:
+            raise AddressError(f"backing size must be positive, got {size}")
+        if not (0 <= fill <= 255):
+            raise AddressError(f"fill byte out of range: {fill}")
+        self.size = size
+        self.name = name
+        self._data = bytearray([fill]) * size if fill else bytearray(size)
+
+    def _check(self, offset: int, length: int) -> None:
+        if length < 0:
+            raise AddressError(f"negative length {length}")
+        if offset < 0 or offset + length > self.size:
+            raise AddressError(
+                f"{self.name}: access [{offset:#x}, {offset + length:#x}) "
+                f"outside [0, {self.size:#x})"
+            )
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Copy ``length`` bytes starting at ``offset``."""
+        self._check(offset, length)
+        return bytes(self._data[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Store ``data`` at ``offset``."""
+        self._check(offset, len(data))
+        self._data[offset : offset + len(data)] = data
+
+    def fill(self, offset: int, length: int, value: int = 0) -> None:
+        """Set a range to one byte value."""
+        self._check(offset, length)
+        if not (0 <= value <= 255):
+            raise AddressError(f"fill byte out of range: {value}")
+        self._data[offset : offset + length] = bytes([value]) * length
+
+    def read_u32(self, offset: int) -> int:
+        """Read a big-endian 32-bit word (the 604 is big-endian)."""
+        return int.from_bytes(self.read(offset, 4), "big")
+
+    def write_u32(self, offset: int, value: int) -> None:
+        """Write a big-endian 32-bit word."""
+        self.write(offset, (value & 0xFFFFFFFF).to_bytes(4, "big"))
+
+    def read_u64(self, offset: int) -> int:
+        """Read a big-endian 64-bit word."""
+        return int.from_bytes(self.read(offset, 8), "big")
+
+    def write_u64(self, offset: int, value: int) -> None:
+        """Write a big-endian 64-bit word."""
+        self.write(offset, (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "big"))

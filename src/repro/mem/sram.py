@@ -1,0 +1,102 @@
+"""NIU SRAM banks.
+
+The NIU carries two *dual-ported* SRAMs (aSRAM, sSRAM) — one port on a
+604 bus side, the other on the IBus — plus the single-ported clsSRAM that
+the aBIU reads in parallel with every aP bus operation (modeled in
+:mod:`repro.niu.clssram`).
+
+Each port is an arbitrated resource, so simultaneous IBus and bus-side
+traffic to the *same* bank contends per port while the two ports proceed
+independently — the property that lets CTRL deposit an arriving message
+into aSRAM while the aP reads another message out.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.common.errors import AddressError
+from repro.mem.backing import ByteBacking
+from repro.sim.resource import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+    from repro.sim.events import Event
+
+#: port identifiers
+PORT_BUS = 0
+PORT_IBUS = 1
+
+
+class DualPortedSRAM:
+    """Two-ported byte-backed SRAM with per-port arbitration and timing."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        size: int,
+        access_ns: float,
+        width_bytes: int = 8,
+        name: str = "sram",
+    ) -> None:
+        if width_bytes <= 0:
+            raise AddressError("SRAM width must be positive")
+        self.engine = engine
+        self.name = name
+        self.access_ns = access_ns
+        self.width_bytes = width_bytes
+        self.backing = ByteBacking(size, name=name)
+        self._ports = (
+            Resource(engine, 1, name=f"{name}.p0"),
+            Resource(engine, 1, name=f"{name}.p1"),
+        )
+
+    @property
+    def size(self) -> int:
+        """Capacity in bytes."""
+        return self.backing.size
+
+    def _beats(self, length: int) -> int:
+        return max(1, -(-length // self.width_bytes))  # ceil division
+
+    def read(
+        self, port: int, offset: int, length: int
+    ) -> Generator["Event", None, bytes]:
+        """Timed read through ``port`` (process fragment)."""
+        res = self._ports[port]
+        yield res.request()
+        try:
+            yield self.engine.timeout(self._beats(length) * self.access_ns)
+            return self.backing.read(offset, length)
+        finally:
+            res.release()
+
+    def write(
+        self, port: int, offset: int, data: bytes
+    ) -> Generator["Event", None, None]:
+        """Timed write through ``port`` (process fragment)."""
+        res = self._ports[port]
+        yield res.request()
+        try:
+            yield self.engine.timeout(self._beats(len(data)) * self.access_ns)
+            self.backing.write(offset, data)
+        finally:
+            res.release()
+
+    # -- zero-time access for checks and pointer shadows ------------------------
+    #
+    # CTRL shadows queue pointers into SRAM so the aP can poll them with
+    # plain loads; the shadow-update itself is charged to CTRL's own op
+    # timing, so the backing-store write here is zero-time by design.
+
+    def peek(self, offset: int, length: int) -> bytes:
+        """Untimed read of the backing store."""
+        return self.backing.read(offset, length)
+
+    def poke(self, offset: int, data: bytes) -> None:
+        """Untimed write of the backing store."""
+        self.backing.write(offset, data)
+
+    def port_utilization(self, port: int) -> float:
+        """Busy fraction of one port (diagnostics)."""
+        return self._ports[port].utilization()

@@ -1,0 +1,20 @@
+"""Message-passing mechanisms (the user-level library, layer 0).
+
+Four mechanisms, exactly the paper's §5 set: :class:`BasicPort` (Basic
+and TagOn messages), :class:`ExpressPort`, and the DMA helpers
+(:func:`dma_write`, :class:`DmaNotifier`); plus the reader for
+DRAM-resident overflow queues.
+"""
+
+from repro.mp.basic import BasicPort
+from repro.mp.dma import DmaNotifier, dma_write
+from repro.mp.dramq import DramQueueReader
+from repro.mp.express import ExpressPort
+
+__all__ = [
+    "BasicPort",
+    "ExpressPort",
+    "DmaNotifier",
+    "dma_write",
+    "DramQueueReader",
+]

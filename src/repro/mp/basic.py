@@ -1,0 +1,189 @@
+"""Basic messages: the user-level view of a CTRL queue pair.
+
+"A basic message has a variable length data section of up to 88 bytes
+... Application code manipulates pointers to transmit and receive
+buffers.  The implementation merely exports the underlying message
+passing primitive to the user."
+
+A :class:`BasicPort` owns one hardware transmit queue and one logical
+receive queue of a node.  Its methods are generator fragments run *on
+the aP* (``yield from port.send(api, ...)``), so every SRAM write,
+pointer update and poll is a real bus operation with real cost:
+
+* send: compose header+payload into the aSRAM window (line bursts),
+  then one uncached store advances the producer pointer;
+* receive: poll the producer shadow with uncached loads, read the entry
+  from the aSRAM window, retire it with one consumer-pointer store.
+
+TagOn attachments ride the same port: stage the attachment into user
+aSRAM once with :meth:`stage_tagon`, then name it in any number of
+sends — "a pointer in the message description specifies the data in
+SRAM".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional, Tuple
+
+from repro.common.errors import ProgramError, ProtectionViolation, QueueError
+from repro.mem.address import ASRAM_BASE, NIU_CTL_BASE
+from repro.niu.handlers import pointer_offset
+from repro.niu.msgformat import (
+    FLAG_TAGON,
+    HEADER_BYTES,
+    MAX_PAYLOAD,
+    TAGON_LARGE_UNITS,
+    TAGON_SMALL_UNITS,
+    TAGON_UNIT_BYTES,
+    MsgHeader,
+    decode_rx_header,
+    encode_header,
+)
+from repro.niu.niu import PTR_WINDOW_OFF
+from repro.niu.queues import BANK_A, QueueKind, QueueState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.node.ap import ApApi
+    from repro.node.node import NodeBoard
+    from repro.sim.events import Event
+
+
+class BasicPort:
+    """User-level endpoint over one tx queue + one logical rx queue."""
+
+    def __init__(self, node: "NodeBoard", tx_index: int,
+                 rx_logical: int) -> None:
+        niu = node.niu
+        self.node = node
+        self.tx: QueueState = niu.ctrl.tx_queues[tx_index]
+        if self.tx.bank != BANK_A:
+            raise ProgramError("BasicPort needs an aSRAM-backed tx queue")
+        self.rx: QueueState = niu.ap_rx_slot(rx_logical)
+        self.rx_logical = rx_logical
+        # user-space pointer mirrors (re-read from hardware only on demand)
+        self._tx_producer = self.tx.producer
+        self._tx_known_consumer = self.tx.consumer
+        self._rx_consumer = self.rx.consumer
+        self._ptr_base = NIU_CTL_BASE + PTR_WINDOW_OFF
+        self.sent = 0
+        self.received = 0
+
+    # -- address helpers -------------------------------------------------------
+
+    def _tx_slot_addr(self, n: int) -> int:
+        return ASRAM_BASE + self.tx.slot_offset(n)
+
+    def _rx_slot_addr(self, n: int) -> int:
+        return ASRAM_BASE + self.rx.slot_offset(n)
+
+    def _ptr_addr(self, kind: QueueKind, index: int, which: str) -> int:
+        return self._ptr_base + pointer_offset(kind, index, which)
+
+    # -- transmit ------------------------------------------------------------------
+
+    def send(
+        self,
+        api: "ApApi",
+        vdst: int,
+        payload: bytes,
+        tagon: Optional[Tuple[int, int]] = None,
+        raw: bool = False,
+    ) -> Generator["Event", None, None]:
+        """Compose and launch one message (blocks while the queue is full).
+
+        ``tagon`` is ``(asram_offset, units)`` from :meth:`stage_tagon`.
+        """
+        if len(payload) > MAX_PAYLOAD:
+            raise ProgramError(f"payload {len(payload)} exceeds {MAX_PAYLOAD}")
+        flags = 0x01 if raw else 0
+        hdr = MsgHeader(flags=flags, vdst=vdst, length=len(payload))
+        if tagon is not None:
+            offset, units = tagon
+            if units not in (TAGON_SMALL_UNITS, TAGON_LARGE_UNITS):
+                raise ProgramError(f"bad TagOn units {units}")
+            hdr.flags |= FLAG_TAGON
+            hdr.tagon_bank = BANK_A
+            hdr.tagon_offset = offset
+            hdr.tagon_units = units
+        hdr.validate()
+        # wait for a free slot: re-read the consumer shadow while full
+        while self._tx_producer - self._tx_known_consumer >= self.tx.depth:
+            if not self.tx.enabled:
+                raise ProtectionViolation(
+                    f"tx queue {self.tx.index} was shut down"
+                )
+            self._tx_known_consumer = yield from api.load_u32(
+                self._ptr_addr(QueueKind.TX, self.tx.index, "consumer")
+            )
+            if self._tx_producer - self._tx_known_consumer >= self.tx.depth:
+                yield from api.compute(25)  # polling loop overhead
+        slot = self._tx_slot_addr(self._tx_producer)
+        yield from api.store(slot, encode_header(hdr) + payload)
+        self._tx_producer += 1
+        yield from api.store_u32(
+            self._ptr_addr(QueueKind.TX, self.tx.index, "producer"),
+            self._tx_producer,
+        )
+        self.sent += 1
+
+    def stage_tagon(self, api: "ApApi", niu_offset: int, data: bytes
+                    ) -> Generator["Event", None, Tuple[int, int]]:
+        """Write TagOn data into user aSRAM; returns the (offset, units).
+
+        ``niu_offset`` comes from ``node.niu.alloc_asram(...)``; data is
+        padded to the next legal TagOn size (48 or 80 bytes).
+        """
+        if len(data) <= TAGON_SMALL_UNITS * TAGON_UNIT_BYTES:
+            units = TAGON_SMALL_UNITS
+        elif len(data) <= TAGON_LARGE_UNITS * TAGON_UNIT_BYTES:
+            units = TAGON_LARGE_UNITS
+        else:
+            raise ProgramError(f"TagOn data of {len(data)} bytes is too large")
+        padded = data.ljust(units * TAGON_UNIT_BYTES, b"\x00")
+        yield from api.store(ASRAM_BASE + niu_offset, padded)
+        return niu_offset, units
+
+    # -- receive ------------------------------------------------------------------
+
+    def poll(self, api: "ApApi"
+             ) -> Generator["Event", None, Optional[Tuple[int, bytes]]]:
+        """Non-blocking receive: one producer-shadow poll, then the entry."""
+        producer = yield from api.load_u32(
+            self._ptr_addr(QueueKind.RX, self.rx.index, "producer")
+        )
+        if producer == self._rx_consumer:
+            return None
+        return (yield from self._take(api))
+
+    def recv(self, api: "ApApi", poll_insns: int = 25
+             ) -> Generator["Event", None, Tuple[int, bytes]]:
+        """Blocking receive: spin on the producer shadow until a message.
+
+        ``poll_insns`` models the polling loop's instruction overhead per
+        iteration; without it the uncached pointer loads would hammer the
+        memory bus far harder than a real 604 polling loop can.
+        """
+        while True:
+            producer = yield from api.load_u32(
+                self._ptr_addr(QueueKind.RX, self.rx.index, "producer")
+            )
+            if producer != self._rx_consumer:
+                break
+            yield from api.compute(poll_insns)
+        return (yield from self._take(api))
+
+    def _take(self, api: "ApApi"
+              ) -> Generator["Event", None, Tuple[int, bytes]]:
+        slot = self._rx_slot_addr(self._rx_consumer)
+        raw = yield from api.load(slot, HEADER_BYTES)
+        src, length, _flags = decode_rx_header(raw)
+        payload = b""
+        if length:
+            payload = yield from api.load(slot + HEADER_BYTES, length)
+        self._rx_consumer += 1
+        yield from api.store_u32(
+            self._ptr_addr(QueueKind.RX, self.rx.index, "consumer"),
+            self._rx_consumer,
+        )
+        self.received += 1
+        return src, payload

@@ -1,0 +1,56 @@
+"""Reader side of DRAM-resident (non-hardware-cached) receive queues.
+
+The firmware miss-queue service (:mod:`repro.firmware.msg`) appends
+messages bound for non-resident logical queues into DRAM rings; this is
+the aP-side reader.  Polling the producer counter is an ordinary cached
+load — cheap while nothing arrives, automatically invalidated by the
+NIU's write when something does.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional, Tuple
+
+from repro.firmware.msg import DramRing
+from repro.niu.msgformat import HEADER_BYTES, decode_rx_header
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.node.ap import ApApi
+    from repro.sim.events import Event
+
+
+class DramQueueReader:
+    """aP-side consumer of one firmware-managed DRAM ring."""
+
+    def __init__(self, ring: DramRing) -> None:
+        self.ring = ring
+        self._consumer = 0
+        self.received = 0
+
+    def poll(self, api: "ApApi"
+             ) -> Generator["Event", None, Optional[Tuple[int, bytes]]]:
+        """Non-blocking receive from the ring."""
+        producer = yield from api.load_u32(self.ring.base)
+        if producer == self._consumer:
+            return None
+        addr = self.ring.entry_addr(self._consumer)
+        raw = yield from api.load(addr, HEADER_BYTES)
+        src, length, _flags = decode_rx_header(raw)
+        payload = b""
+        if length:
+            payload = yield from api.load(addr + HEADER_BYTES, length)
+        self._consumer += 1
+        yield from api.store_u32(self.ring.base + 4, self._consumer)
+        self.received += 1
+        return src, payload
+
+    def recv(self, api: "ApApi", poll_insns: int = 25
+             ) -> Generator["Event", None, Tuple[int, bytes]]:
+        """Blocking receive (spins on the producer counter — cached, so
+        idle polling stays off the bus until the NIU's write invalidates
+        the line)."""
+        while True:
+            msg = yield from self.poll(api)
+            if msg is not None:
+                return msg
+            yield from api.compute(poll_insns)

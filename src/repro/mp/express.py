@@ -1,0 +1,80 @@
+"""Express messages: one store to send, one load to receive.
+
+"An express message consists of a five-byte payload.  The transmit and
+receive queues are uncached so that a single uncached store can compose
+and launch a message ... Part of the address of a transmit store encodes
+the logical destination and a byte of data."
+
+The five payload bytes are one byte riding in the store *address* plus
+the four bytes on the data bus.  Receive returns ``None`` when the
+hardware hands back the canonical empty message.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional, Tuple
+
+from repro.common.errors import ProgramError
+from repro.mem.address import NIU_CTL_BASE
+from repro.niu.handlers import (
+    EXPRESS_BYTE_SHIFT,
+    EXPRESS_VALID_FLAG,
+    EXPRESS_VDST_SHIFT,
+)
+from repro.niu.niu import EXPRESS_RX_OFF, EXPRESS_TX_OFF
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.node.ap import ApApi
+    from repro.node.node import NodeBoard
+    from repro.sim.events import Event
+
+
+class ExpressPort:
+    """User-level Express endpoint of one node."""
+
+    def __init__(self, node: "NodeBoard") -> None:
+        self.node = node
+        self._tx_base = NIU_CTL_BASE + EXPRESS_TX_OFF
+        self._rx_addr = NIU_CTL_BASE + EXPRESS_RX_OFF
+        self.sent = 0
+        self.received = 0
+
+    def send(self, api: "ApApi", vdst: int, payload: bytes
+             ) -> Generator["Event", None, None]:
+        """Send a five-byte Express message with a single uncached store.
+
+        ``payload[0]`` travels in the address; ``payload[1:5]`` on the
+        data bus.  Shorter payloads are zero-padded.
+        """
+        if len(payload) > 5:
+            raise ProgramError(f"Express payload is 5 bytes, got {len(payload)}")
+        if not (0 <= vdst <= 255):
+            raise ProgramError(f"vdst {vdst} outside one byte")
+        padded = payload.ljust(5, b"\x00")
+        addr = (self._tx_base
+                + (vdst << EXPRESS_VDST_SHIFT)
+                + (padded[0] << EXPRESS_BYTE_SHIFT))
+        yield from api.store(addr, padded[1:5])
+        self.sent += 1
+
+    def recv(self, api: "ApApi"
+             ) -> Generator["Event", None, Optional[Tuple[int, bytes]]]:
+        """One uncached load: ``(src, 5-byte payload)`` or ``None``."""
+        raw = yield from api.load(self._rx_addr, 8)
+        if not (raw[0] & EXPRESS_VALID_FLAG):
+            return None
+        self.received += 1
+        return raw[1], raw[2:7]
+
+    def recv_blocking(self, api: "ApApi", poll_insns: int = 25
+                      ) -> Generator["Event", None, Tuple[int, bytes]]:
+        """Spin on :meth:`recv` until a message arrives.
+
+        ``poll_insns`` is the per-iteration loop overhead (see
+        :meth:`repro.mp.basic.BasicPort.recv`).
+        """
+        while True:
+            msg = yield from self.recv(api)
+            if msg is not None:
+                return msg
+            yield from api.compute(poll_insns)

@@ -1,0 +1,32 @@
+"""The MIT Arctic network: packets, fat-tree topology, links, switches.
+
+160 MB/s/direction links, 96-byte packets, two priority levels, credit
+flow control, source routing computed by
+:class:`~repro.net.topology.FatTreeTopology`, with optional virtual
+cut-through forwarding (``NetworkConfig.cut_through``).
+"""
+
+from repro.net.link import Link
+from repro.net.network import ArcticNetwork, NetworkPort
+from repro.net.packet import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    Packet,
+    PacketKind,
+    check_packet_size,
+)
+from repro.net.switch import ArcticSwitch
+from repro.net.topology import FatTreeTopology
+
+__all__ = [
+    "ArcticNetwork",
+    "NetworkPort",
+    "ArcticSwitch",
+    "Link",
+    "FatTreeTopology",
+    "Packet",
+    "PacketKind",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "check_packet_size",
+]

@@ -1,0 +1,173 @@
+"""The assembled Arctic network: switches, links, endpoints.
+
+:class:`ArcticNetwork` builds the folded-butterfly fat tree described by
+:class:`~repro.net.topology.FatTreeTopology`, wires every switch-switch
+and node-switch link pair, and exposes one :class:`NetworkPort` per node.
+The NIU's TxU/RxU talk to their port; nothing above this layer knows the
+topology exists.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
+
+from repro.common.config import NetworkConfig
+from repro.common.errors import NetworkError
+from repro.net.link import Link
+from repro.net.packet import Packet, check_packet_size
+from repro.net.switch import ArcticSwitch
+from repro.net.topology import FatTreeTopology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+    from repro.sim.events import Event
+    from repro.sim.stats import StatsRegistry
+
+
+class NetworkPort:
+    """One node's attachment point: an injection link and a delivery link."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        network: "ArcticNetwork",
+        node: int,
+        to_switch: Link,
+        from_switch: Link,
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.node = node
+        self._to_switch = to_switch
+        self._from_switch = from_switch
+        self.injected = 0
+        self.delivered = 0
+
+    def inject(self, pkt: Packet) -> Generator["Event", None, None]:
+        """Send one packet into the network (process fragment).
+
+        The packet must already carry its route (the NIU's destination
+        translation supplies it); injection checks the size cap and stamps
+        the injection time for latency statistics.
+        """
+        check_packet_size(pkt, self.network.config.max_packet_bytes)
+        if pkt.dst == self.node:
+            raise NetworkError(
+                f"{pkt!r}: self-sends do not enter the network (CTRL loops "
+                "them back locally)"
+            )
+        if not pkt.route:
+            raise NetworkError(f"{pkt!r} has no route; translation must supply one")
+        pkt.inject_time = self.engine.now
+        self.injected += 1
+        yield from self._to_switch.send(pkt)
+
+    def receive(self, priority: int) -> "Event":
+        """Event delivering the next arrived packet of ``priority``."""
+        ev = self._from_switch.receive(priority)
+
+        def _count(_ev) -> None:
+            self.delivered += 1
+            stats = self.network.stats
+            if stats is not None:
+                pkt = _ev.value
+                stats.accumulator("net.latency_ns").add(
+                    self.engine.now - pkt.inject_time
+                )
+
+        ev.add_callback(_count)
+        return ev
+
+    def pending(self, priority: int) -> int:
+        """Arrived-but-undrained packets of one priority (diagnostics)."""
+        return self._from_switch.pending(priority)
+
+
+class ArcticNetwork:
+    """Fat tree of :class:`ArcticSwitch`\\ es with per-node ports."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        config: NetworkConfig,
+        n_nodes: int,
+        seed: int = 0,
+        stats: Optional["StatsRegistry"] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.n_nodes = n_nodes
+        self.stats = stats
+        self.topology = FatTreeTopology(n_nodes, radix=config.radix, seed=seed)
+        self.switches: Dict[Tuple[int, int], ArcticSwitch] = {}
+        self.links: List[Link] = []
+        self.ports: List[NetworkPort] = []
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def _new_link(self, name: str, to_switch: bool) -> Link:
+        """Links toward switches may cut through; node-bound hops always
+        deliver complete packets (the RxU needs the tail)."""
+        link = Link(self.engine, self.config, name,
+                    deliver_early=self.config.cut_through and to_switch)
+        self.links.append(link)
+        return link
+
+    def _build(self) -> None:
+        topo = self.topology
+        d = topo.down_degree
+        for level, index in topo.switch_ids():
+            self.switches[(level, index)] = ArcticSwitch(
+                self.engine, self.config, level, index
+            )
+        # node <-> level-1 switch links
+        for node in range(self.n_nodes):
+            sw = self.switches[(1, topo.leaf_switch(node))]
+            port = node % d
+            up = self._new_link(f"n{node}->sw1.{sw.index}", to_switch=True)
+            down = self._new_link(f"sw1.{sw.index}->n{node}", to_switch=False)
+            sw.attach(port, in_link=up, out_link=down)
+            self.ports.append(
+                NetworkPort(self.engine, self, node, to_switch=up, from_switch=down)
+            )
+        # switch <-> switch links (child level, child index, up-port b)
+        for level in range(1, topo.levels):
+            for index in range(topo.switches_per_level):
+                child = self.switches[(level, index)]
+                child_digit = (index // (d ** (level - 1))) % d
+                for b in range(d):
+                    p_level, p_index = topo.up_target(level, index, b)
+                    parent = self.switches[(p_level, p_index)]
+                    up = self._new_link(
+                        f"sw{level}.{index}->sw{p_level}.{p_index}",
+                        to_switch=True)
+                    down = self._new_link(
+                        f"sw{p_level}.{p_index}->sw{level}.{index}",
+                        to_switch=True)
+                    child.attach(d + b, in_link=down, out_link=up)
+                    parent.attach(child_digit, in_link=up, out_link=down)
+        for sw in self.switches.values():
+            sw.start()
+
+    # -- routing helper used by NIU translation tables -------------------------
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Source route (switch port list) between two node leaves."""
+        if not (0 <= dst < self.n_nodes):
+            raise NetworkError(f"destination node {dst} does not exist")
+        return self.topology.route(src, dst)
+
+    def port(self, node: int) -> NetworkPort:
+        """The attachment port of ``node``."""
+        return self.ports[node]
+
+    # -- diagnostics --------------------------------------------------------------
+
+    def total_packets_forwarded(self) -> int:
+        """Sum of per-switch forward counts."""
+        return sum(sw.packets_forwarded for sw in self.switches.values())
+
+    def max_link_utilization(self) -> float:
+        """Highest transmitter utilization across all links."""
+        return max((l.utilization() for l in self.links), default=0.0)

@@ -1,0 +1,137 @@
+"""Arctic packets.
+
+Arctic moves packets of at most 96 bytes (8-byte header + up to 88 bytes
+of payload — which is exactly why the paper's Basic message caps its data
+section at 88 bytes).  The header carries the physical route, the logical
+destination queue, the network priority, and the length.
+
+Two packet kinds exist, mirroring §4 of the paper:
+
+* ``DATA``     — an ordinary message delivered into a receive queue;
+* ``COMMAND``  — a remote command: on arrival it is steered into the
+  destination NIU's *remote command queue*, whose processor executes it
+  (e.g. "write these bytes into aP DRAM at address X").  This is the
+  mechanism block transfers use to land data directly in far memory.
+
+Packets are source-routed: the translation table entry at the sender
+"specifies the physical route", so the header carries the port list the
+switches consume hop by hop.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, List, Optional
+
+from repro.common.errors import NetworkError
+
+#: priority levels; HIGH wins link arbitration.  The paper requires two
+#: priorities so that reply traffic can overtake requests (deadlock
+#: avoidance for shared-memory protocols).
+PRIORITY_HIGH = 0
+PRIORITY_LOW = 1
+
+
+class PacketKind(enum.Enum):
+    """Wire-level packet discriminator (one header bit on the real machine)."""
+
+    DATA = "data"
+    COMMAND = "command"
+
+
+_packet_seq = itertools.count()
+
+
+class Packet:
+    """One network packet: header fields + real payload bytes."""
+
+    __slots__ = (
+        "seq",
+        "kind",
+        "src",
+        "dst",
+        "dst_queue",
+        "priority",
+        "payload",
+        "route",
+        "hop",
+        "command",
+        "header_bytes",
+        "inject_time",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        kind: PacketKind,
+        src: int,
+        dst: int,
+        dst_queue: int,
+        payload: bytes,
+        priority: int = PRIORITY_LOW,
+        route: Optional[List[int]] = None,
+        command: Any = None,
+        header_bytes: int = 8,
+    ) -> None:
+        if priority not in (PRIORITY_HIGH, PRIORITY_LOW):
+            raise NetworkError(f"bad priority {priority}")
+        if src < 0 or dst < 0:
+            raise NetworkError(f"bad endpoints {src}->{dst}")
+        self.seq = next(_packet_seq)
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.dst_queue = dst_queue
+        self.priority = priority
+        self.payload = payload
+        #: switch output ports, consumed one per hop.
+        self.route = route or []
+        self.hop = 0
+        #: for COMMAND packets: the command object executed at the far NIU.
+        self.command = command
+        self.header_bytes = header_bytes
+        #: stamped by the injecting port; used for latency statistics.
+        self.inject_time: float = 0.0
+        #: free-form bookkeeping (never consulted by the network itself).
+        self.meta: Any = None
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes this packet occupies on a link.
+
+        DATA packets carry ``payload`` verbatim; COMMAND packets carry the
+        command's wire encoding (opcode/address words plus any data), so
+        size accounting asks the command itself.
+        """
+        if self.command is not None:
+            return self.header_bytes + self.command.wire_bytes()
+        return self.header_bytes + len(self.payload)
+
+    def next_port(self) -> int:
+        """Consume and return the next routing digit."""
+        if self.hop >= len(self.route):
+            raise NetworkError(f"{self!r}: route exhausted at hop {self.hop}")
+        port = self.route[self.hop]
+        self.hop += 1
+        return port
+
+    @property
+    def at_last_hop(self) -> bool:
+        """True when every routing digit has been consumed."""
+        return self.hop >= len(self.route)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Pkt#{self.seq} {self.kind.value} {self.src}->{self.dst} "
+            f"q={self.dst_queue} pri={self.priority} {len(self.payload)}B>"
+        )
+
+
+def check_packet_size(pkt: Packet, max_packet_bytes: int) -> None:
+    """Reject oversized packets at injection (hardware would never emit one)."""
+    if pkt.wire_bytes > max_packet_bytes:
+        raise NetworkError(
+            f"{pkt!r} is {pkt.wire_bytes} bytes on the wire; the network "
+            f"maximum is {max_packet_bytes}"
+        )

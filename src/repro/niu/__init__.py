@@ -1,0 +1,87 @@
+"""The StarT-Voyager network interface unit.
+
+Layer 2 (core NIU): :class:`~repro.niu.ctrl.Ctrl`, the command processors
+and block units in :mod:`repro.niu.cmdproc`, queue/translation/protection
+state.  Layer 1 (programmable NIU): :class:`~repro.niu.abiu.ABiu` with its
+handler registry, :class:`~repro.niu.sbiu.SBiu`, and the
+:class:`~repro.niu.sp.ServiceProcessor` firmware engine.
+"""
+
+from repro.niu.abiu import ABiu, BusHandler
+from repro.niu.clssram import (
+    CLS_INVALID,
+    CLS_PENDING,
+    CLS_RO,
+    CLS_RW,
+    ClsAction,
+    ClsSram,
+)
+from repro.niu.ctrl import Ctrl
+from repro.niu.msgformat import (
+    ENTRY_BYTES,
+    HEADER_BYTES,
+    MAX_PAYLOAD,
+    MsgHeader,
+    decode_header,
+    decode_rx_header,
+    encode_header,
+    encode_rx_header,
+)
+from repro.niu.niu import (
+    EXPRESS_RX_LOGICAL,
+    EXPRESS_TX_IDX,
+    N_AP_RX,
+    N_AP_TX,
+    NIU,
+    NOTIFY_QUEUE,
+    SP_PROTOCOL_QUEUE,
+    SP_SERVICE_QUEUE,
+    SP_TX_GENERAL,
+    SP_TX_PROTOCOL,
+    vdst_for,
+)
+from repro.niu.queues import BANK_A, BANK_S, FullPolicy, QueueKind, QueueState
+from repro.niu.sbiu import SBiu
+from repro.niu.sp import ServiceProcessor
+from repro.niu.translation import RxQueueCache, TranslationEntry, TranslationTable
+
+__all__ = [
+    "NIU",
+    "Ctrl",
+    "ABiu",
+    "SBiu",
+    "ServiceProcessor",
+    "BusHandler",
+    "QueueState",
+    "QueueKind",
+    "FullPolicy",
+    "BANK_A",
+    "BANK_S",
+    "MsgHeader",
+    "encode_header",
+    "decode_header",
+    "encode_rx_header",
+    "decode_rx_header",
+    "HEADER_BYTES",
+    "MAX_PAYLOAD",
+    "ENTRY_BYTES",
+    "TranslationTable",
+    "TranslationEntry",
+    "RxQueueCache",
+    "ClsSram",
+    "ClsAction",
+    "CLS_INVALID",
+    "CLS_PENDING",
+    "CLS_RO",
+    "CLS_RW",
+    "vdst_for",
+    "N_AP_TX",
+    "N_AP_RX",
+    "EXPRESS_TX_IDX",
+    "EXPRESS_RX_LOGICAL",
+    "SP_TX_GENERAL",
+    "SP_TX_PROTOCOL",
+    "SP_SERVICE_QUEUE",
+    "SP_PROTOCOL_QUEUE",
+    "NOTIFY_QUEUE",
+]

@@ -1,0 +1,150 @@
+"""clsSRAM: cache-line state bits and the aBIU action table.
+
+A single-ported SRAM holding four state bits per cache line of a covered
+DRAM window.  "The clsSRAM is read for every aP bus operation and [the
+bits] are passed to the aBIU ... The aBIU determines what action, if
+any, should be taken ... Two bits encode the possible reactions: one bit
+indicates whether the operation should be retried and the other bit
+specifies whether the operation should be passed to the sP.  These bits
+are in a table indexed by the bus operation and the clsSRAM bits."
+
+Four state bits allow sixteen states — enough for "multiple coherence
+protocols simultaneously or very complex coherence protocols".  The
+default S-COMA protocol uses four of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.bus.ops import BusOpType
+from repro.common.errors import AddressError, ConfigError
+
+#: default S-COMA line states (values are the 4-bit clsSRAM contents).
+CLS_INVALID = 0  #: line not present locally — fetch required
+CLS_PENDING = 1  #: fetch in flight — retry without re-notifying firmware
+CLS_RO = 2  #: readable copy present
+CLS_RW = 3  #: writable (owned) copy present
+
+
+@dataclass(frozen=True)
+class ClsAction:
+    """The aBIU's reaction to one (bus op, state) pair."""
+
+    retry: bool = False
+    pass_to_sp: bool = False
+    #: new state the aBIU writes back as it reacts (None = leave as is);
+    #: this is how INVALID flips to PENDING exactly once per miss.
+    next_state: int = None  # type: ignore[assignment]
+
+
+class ClsSram:
+    """State bits for a window of DRAM, plus the reaction table."""
+
+    def __init__(self, cover_base: int, n_lines: int, line_bytes: int) -> None:
+        if n_lines <= 0:
+            raise ConfigError("clsSRAM must cover at least one line")
+        if cover_base % line_bytes:
+            raise ConfigError("clsSRAM coverage must be line-aligned")
+        self.cover_base = cover_base
+        self.n_lines = n_lines
+        self.line_bytes = line_bytes
+        self._states = bytearray(n_lines)  # 4-bit values, one per line
+        self._table: Dict[Tuple[BusOpType, int], ClsAction] = {}
+        self.checks = 0
+        self.retries = 0
+
+    # -- coverage -----------------------------------------------------------
+
+    @property
+    def cover_end(self) -> int:
+        """One past the last covered address."""
+        return self.cover_base + self.n_lines * self.line_bytes
+
+    def covers(self, addr: int) -> bool:
+        """True when ``addr`` lies in the covered window."""
+        return self.cover_base <= addr < self.cover_end
+
+    def line_of(self, addr: int) -> int:
+        """Line index of a covered address."""
+        if not self.covers(addr):
+            raise AddressError(
+                f"address {addr:#x} outside clsSRAM coverage "
+                f"[{self.cover_base:#x}, {self.cover_end:#x})"
+            )
+        return (addr - self.cover_base) // self.line_bytes
+
+    def addr_of(self, line: int) -> int:
+        """Base address of line ``line``."""
+        if not (0 <= line < self.n_lines):
+            raise AddressError(f"clsSRAM line {line} out of range")
+        return self.cover_base + line * self.line_bytes
+
+    # -- state bits ------------------------------------------------------------
+
+    def state(self, line: int) -> int:
+        """Current 4-bit state of a line."""
+        if not (0 <= line < self.n_lines):
+            raise AddressError(f"clsSRAM line {line} out of range")
+        return self._states[line]
+
+    def set_state(self, line: int, state: int) -> None:
+        """Write a line's state (firmware commands and Approach-5 hardware)."""
+        if not (0 <= state <= 0xF):
+            raise AddressError(f"clsSRAM state {state} needs 4 bits")
+        if not (0 <= line < self.n_lines):
+            raise AddressError(f"clsSRAM line {line} out of range")
+        self._states[line] = state
+
+    def set_range(self, first_line: int, n_lines: int, state: int) -> None:
+        """Bulk state write (block-operation-unit support)."""
+        for line in range(first_line, first_line + n_lines):
+            self.set_state(line, state)
+
+    # -- the reaction table ---------------------------------------------------------
+
+    def set_action(self, op: BusOpType, state: int, action: ClsAction) -> None:
+        """Program one table slot (this is "reconfiguring the FPGA table")."""
+        self._table[(op, state)] = action
+
+    def check(self, op: BusOpType, addr: int) -> ClsAction:
+        """The hardware check performed in parallel with every snoop.
+
+        Looks up the line state, consults the table, applies any
+        ``next_state`` transition, and returns the action.  Unknown
+        (op, state) pairs take no action — the table is "configurable"
+        precisely so untouched operations pass through.
+        """
+        self.checks += 1
+        line = self.line_of(addr)
+        state = self._states[line]
+        action = self._table.get((op, state))
+        if action is None:
+            return ClsAction()
+        if action.next_state is not None:
+            self._states[line] = action.next_state
+        if action.retry:
+            self.retries += 1
+        return action
+
+
+def install_scoma_default_table(cls: ClsSram) -> None:
+    """The default S-COMA reaction table.
+
+    Reads of INVALID lines retry and notify firmware once (the state flips
+    to PENDING so later retries stay quiet); PENDING retries silently;
+    valid states pass.  Writes need RW: RO writes retry and request an
+    upgrade; the KILL a store-upgrade emits behaves like the write itself.
+    """
+    for read_op in (BusOpType.READ, BusOpType.READ_LINE):
+        cls.set_action(read_op, CLS_INVALID,
+                       ClsAction(retry=True, pass_to_sp=True, next_state=CLS_PENDING))
+        cls.set_action(read_op, CLS_PENDING, ClsAction(retry=True))
+    for write_op in (BusOpType.WRITE, BusOpType.WRITE_LINE, BusOpType.RWITM,
+                     BusOpType.KILL):
+        cls.set_action(write_op, CLS_INVALID,
+                       ClsAction(retry=True, pass_to_sp=True, next_state=CLS_PENDING))
+        cls.set_action(write_op, CLS_PENDING, ClsAction(retry=True))
+        cls.set_action(write_op, CLS_RO,
+                       ClsAction(retry=True, pass_to_sp=True, next_state=CLS_PENDING))

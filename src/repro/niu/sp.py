@@ -1,0 +1,117 @@
+"""The service processor (sP): the NIU's embedded firmware engine.
+
+A 604-class processor that "is capable of controlling all aspects of NIU
+operation".  The model runs *firmware handlers* — cost-annotated Python
+coroutines registered per event kind — under a dispatch kernel that
+polls the sBIU event queue, exactly the structure of real NIU firmware.
+
+Occupancy is the first-class output: the sP's :class:`BusyTracker`
+accumulates time spent dispatching and executing handlers, which is what
+the paper's §6 experiments compare across block-transfer approaches
+("firmware engine occupancy is extremely important and can strongly
+color experimental results").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Tuple
+
+from repro.common.config import FirmwareCostConfig, ProcessorConfig
+from repro.common.errors import FirmwareError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.niu.ctrl import Ctrl
+    from repro.niu.sbiu import SBiu
+    from repro.sim.engine import Engine
+    from repro.sim.events import Event
+    from repro.sim.stats import StatsRegistry
+
+#: a firmware handler: ``handler(sp, event) -> generator``.
+FirmwareHandler = Callable[["ServiceProcessor", Tuple], Generator]
+
+
+class ServiceProcessor:
+    """Firmware dispatch kernel + execution-cost model."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        proc_config: ProcessorConfig,
+        fw_config: FirmwareCostConfig,
+        sbiu: "SBiu",
+        ctrl: "Ctrl",
+        stats: "StatsRegistry",
+        node_id: int,
+    ) -> None:
+        self.engine = engine
+        self.proc = proc_config
+        self.fw = fw_config
+        self.sbiu = sbiu
+        self.ctrl = ctrl
+        self.stats = stats
+        self.node_id = node_id
+        self.name = f"sp{node_id}"
+        self.busy = stats.busy_tracker(f"{self.name}.busy")
+        self._handlers: Dict[str, FirmwareHandler] = {}
+        #: shared state between firmware modules (directories, DMA engine
+        #: descriptors, mapping tables...) — firmware "globals".
+        self.state: Dict[str, Any] = {}
+        self.dispatched = 0
+        self.unhandled = 0
+        self._started = False
+
+    # -- firmware installation -------------------------------------------------
+
+    def register(self, kind: str, handler: FirmwareHandler) -> None:
+        """Install (or replace) the handler for one event kind.
+
+        Replacement is legitimate reconfiguration — "with experimentation
+        on the machine, it can be reconfigured" — and tests use it to
+        inject failures.
+        """
+        self._handlers[kind] = handler
+
+    def handler_for(self, kind: str) -> FirmwareHandler:
+        """Installed handler for ``kind`` (raises when absent)."""
+        try:
+            return self._handlers[kind]
+        except KeyError:
+            raise FirmwareError(f"{self.name}: no firmware for event {kind!r}")
+
+    # -- execution-cost primitives (used inside handlers) -------------------------
+
+    def compute(self, n_insns: int) -> "Event":
+        """Model ``n_insns`` instructions of straight-line firmware."""
+        return self.engine.timeout(self.proc.insn_ns(n_insns))
+
+    # -- the dispatch kernel ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the firmware kernel loop."""
+        if self._started:
+            return
+        self._started = True
+        self.engine.process(self._kernel(), name=f"{self.name}.kernel")
+
+    def _kernel(self):
+        while True:
+            event = yield self.sbiu.events.get()  # idle while waiting
+            self.busy.begin()
+            try:
+                yield self.compute(self.fw.dispatch_insns)
+                kind = event[0]
+                handler = self._handlers.get(kind)
+                if handler is None:
+                    self.unhandled += 1
+                    self.stats.counter(f"{self.name}.unhandled").incr()
+                else:
+                    yield from handler(self, event)
+                self.dispatched += 1
+            finally:
+                self.busy.end()
+
+    # -- diagnostics ---------------------------------------------------------------------
+
+    def occupancy(self, window_ns: float = None) -> float:  # type: ignore[assignment]
+        """Fraction of (window) time the sP spent in firmware."""
+        return self.busy.occupancy(window_ns)

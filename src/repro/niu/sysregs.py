@@ -1,0 +1,57 @@
+"""CTRL system registers.
+
+Queue priorities, permissions and "many other configuration registers can
+be set through writes to the system registers in CTRL".  The model keeps
+a named register file with change hooks, so units (e.g. the transmit
+arbiter) react to reconfiguration immediately — the paper's "dynamically
+reconfigurable system register that specifies queue priorities".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.common.errors import ProtectionViolation, QueueError
+
+
+class SystemRegisters:
+    """Named integer registers with write hooks and a trusted/untrusted split."""
+
+    def __init__(self) -> None:
+        self._regs: Dict[str, int] = {}
+        self._hooks: Dict[str, List[Callable[[str, int], None]]] = {}
+        #: registers user (aP, untrusted) code may write.
+        self._user_writable: Dict[str, bool] = {}
+
+    def define(self, name: str, value: int = 0, user_writable: bool = False) -> None:
+        """Create a register (idempotent redefinition is an error)."""
+        if name in self._regs:
+            raise QueueError(f"sysreg {name!r} already defined")
+        self._regs[name] = value
+        self._user_writable[name] = user_writable
+
+    def read(self, name: str) -> int:
+        """Current value."""
+        if name not in self._regs:
+            raise QueueError(f"no sysreg {name!r}")
+        return self._regs[name]
+
+    def write(self, name: str, value: int, trusted: bool = True) -> None:
+        """Set a register; untrusted writers are confined to user registers."""
+        if name not in self._regs:
+            raise QueueError(f"no sysreg {name!r}")
+        if not trusted and not self._user_writable[name]:
+            raise ProtectionViolation(f"untrusted write to sysreg {name!r}")
+        self._regs[name] = value
+        for hook in self._hooks.get(name, ()):
+            hook(name, value)
+
+    def on_write(self, name: str, hook: Callable[[str, int], None]) -> None:
+        """Register a change hook (units subscribing to reconfiguration)."""
+        if name not in self._regs:
+            raise QueueError(f"no sysreg {name!r}")
+        self._hooks.setdefault(name, []).append(hook)
+
+    def names(self) -> List[str]:
+        """All defined register names."""
+        return sorted(self._regs)

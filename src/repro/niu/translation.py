@@ -1,0 +1,164 @@
+"""Destination translation and receive-queue caching.
+
+**Transmit side** — "CTRL implements the destination [translation] by
+first applying an AND/OR mask to the virtual destination ... The result
+is used as an index into a translation table in one of the SRAMs.  The
+table entry specifies the physical route, logical destination queue
+number and a few other parameters."
+
+The table lives in sSRAM as real 8-byte entries so firmware can install
+mappings with ordinary SRAM writes; CTRL reads entries through the IBus
+like any other SRAM traffic (the caller charges that time).
+
+Entry layout (8 bytes, big-endian):
+
+====  ===========================================
+byte  meaning
+====  ===========================================
+0     flags: bit0 VALID
+1-2   destination physical node
+3     destination logical rx queue
+4     network priority (0 high / 1 low)
+5-7   reserved
+====  ===========================================
+
+**Receive side** — "CTRL translates the logical queue number into a
+physical queue number ... performed using a process similar to cache-tag
+lookup.  If the queue is not resident (cached) in hardware, then it will
+be sent to the miss/overflow queue" for firmware service.  That tag
+array is CTRL-internal state, modeled directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import TranslationError
+from repro.mem.sram import DualPortedSRAM
+
+TABLE_ENTRY_BYTES = 8
+FLAG_VALID = 0x01
+
+
+@dataclass
+class TranslationEntry:
+    """Decoded translation-table entry."""
+
+    valid: bool
+    dst_node: int
+    dst_queue: int
+    priority: int
+
+
+def encode_entry(e: TranslationEntry) -> bytes:
+    """Pack an entry into its 8 sSRAM bytes."""
+    return bytes(
+        [
+            FLAG_VALID if e.valid else 0,
+            (e.dst_node >> 8) & 0xFF,
+            e.dst_node & 0xFF,
+            e.dst_queue & 0xFF,
+            e.priority & 0xFF,
+            0,
+            0,
+            0,
+        ]
+    )
+
+
+def decode_entry(raw: bytes) -> TranslationEntry:
+    """Unpack 8 sSRAM bytes into an entry."""
+    if len(raw) != TABLE_ENTRY_BYTES:
+        raise TranslationError(f"table entry must be 8 bytes, got {len(raw)}")
+    return TranslationEntry(
+        valid=bool(raw[0] & FLAG_VALID),
+        dst_node=(raw[1] << 8) | raw[2],
+        dst_queue=raw[3],
+        priority=raw[4],
+    )
+
+
+class TranslationTable:
+    """The sSRAM-resident vdst translation table."""
+
+    def __init__(self, ssram: DualPortedSRAM, base: int, entries: int = 256) -> None:
+        self.ssram = ssram
+        self.base = base
+        self.entries = entries
+
+    def _offset(self, index: int) -> int:
+        if not (0 <= index < self.entries):
+            raise TranslationError(f"translation index {index} outside table")
+        return self.base + index * TABLE_ENTRY_BYTES
+
+    def install(self, index: int, entry: TranslationEntry) -> None:
+        """Untimed install (software setup path; timing charged by caller)."""
+        self.ssram.poke(self._offset(index), encode_entry(entry))
+
+    def lookup(self, index: int) -> TranslationEntry:
+        """Untimed read of the entry bytes (CTRL charges IBus time itself)."""
+        entry = decode_entry(self.ssram.peek(self._offset(index), TABLE_ENTRY_BYTES))
+        if not entry.valid:
+            raise TranslationError(f"translation entry {index} is invalid")
+        return entry
+
+    def invalidate(self, index: int) -> None:
+        """Clear one entry."""
+        self.ssram.poke(
+            self._offset(index),
+            encode_entry(TranslationEntry(False, 0, 0, 0)),
+        )
+
+
+class RxQueueCache:
+    """Tag array mapping logical rx queue ids to hardware queue slots.
+
+    A large logical namespace is supported, out of which ``n_hw`` queues
+    are cached in hardware; the rest miss to firmware.  Fully
+    associative, software-managed fills (firmware decides residency, as
+    on the real machine).
+    """
+
+    def __init__(self, n_hw: int, n_logical: int) -> None:
+        if n_logical < n_hw:
+            raise TranslationError("logical namespace smaller than hardware set")
+        self.n_hw = n_hw
+        self.n_logical = n_logical
+        self._slot_of: Dict[int, int] = {}
+        self._logical_of: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def bind(self, logical: int, slot: int) -> None:
+        """Make ``logical`` resident in hardware slot ``slot``."""
+        if not (0 <= logical < self.n_logical):
+            raise TranslationError(f"logical queue {logical} out of namespace")
+        if not (0 <= slot < self.n_hw):
+            raise TranslationError(f"hardware slot {slot} out of range")
+        old = self._logical_of.pop(slot, None)
+        if old is not None:
+            self._slot_of.pop(old, None)
+        if logical in self._slot_of:
+            self._logical_of.pop(self._slot_of[logical], None)
+        self._slot_of[logical] = slot
+        self._logical_of[slot] = logical
+
+    def unbind(self, logical: int) -> None:
+        """Evict a logical queue from hardware."""
+        slot = self._slot_of.pop(logical, None)
+        if slot is not None:
+            self._logical_of.pop(slot, None)
+
+    def lookup(self, logical: int) -> Optional[int]:
+        """Hardware slot caching ``logical``, or None (a miss)."""
+        slot = self._slot_of.get(logical)
+        if slot is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return slot
+
+    def resident(self) -> Dict[int, int]:
+        """Snapshot of logical -> slot bindings."""
+        return dict(self._slot_of)

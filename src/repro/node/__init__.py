@@ -1,0 +1,6 @@
+"""Node assembly: the application processor and the node board."""
+
+from repro.node.ap import ApApi, AppProcessor
+from repro.node.node import NodeBoard
+
+__all__ = ["ApApi", "AppProcessor", "NodeBoard"]

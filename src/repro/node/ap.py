@@ -1,0 +1,201 @@
+"""The application processor (aP) and the program API.
+
+The aP is a PowerPC 604e in the model's behavioural sense: user
+"programs" are Python generators driven by :class:`AppProcessor`; they
+see an :class:`ApApi` handle offering loads, stores, compute time, and
+waiting.  Every memory operation is routed by the node's address map:
+
+* ``CACHED`` regions go through the snooping L2;
+* ``UNCACHED`` regions become single-beat bus operations;
+* ``BURST`` regions use cache-line bursts where alignment allows (the
+  aSRAM message-buffer windows).
+
+Occupancy accounting is explicit: the aP is *busy* while computing or
+performing memory operations (including spinning on retried bus
+operations — the S-COMA stall pathology), and *idle* inside
+:meth:`ApApi.wait` / :meth:`ApApi.sleep`.  The §6 experiments read this
+tracker to compare per-approach processor overhead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.bus.ops import BusOpType, BusTransaction
+from repro.common.config import MachineConfig
+from repro.common.errors import ProgramError
+from repro.mem.address import AccessMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.node.node import NodeBoard
+    from repro.sim.events import Event
+    from repro.sim.process import Process
+
+
+class ApApi:
+    """What a user program sees: the processor's instruction repertoire.
+
+    ``pid`` identifies the OS process the program models.  The aP tags
+    every bus operation with it, and NIU queue windows enforce ownership
+    against it — the paper's protection story for "more general parallel
+    computing and more flexible job-scheduling in multitasking".  Pid 0
+    is the kernel/single-job default that every queue accepts.
+    """
+
+    def __init__(self, ap: "AppProcessor", pid: int = 0) -> None:
+        self._ap = ap
+        self.node = ap.node
+        self.node_id = ap.node.node_id
+        self.engine = ap.engine
+        self.pid = pid
+
+    # -- time ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in ns."""
+        return self.engine.now
+
+    def compute(self, n_insns: int) -> Generator["Event", None, None]:
+        """Execute ``n_insns`` instructions of local computation."""
+        self._ap.busy.begin()
+        try:
+            yield self.engine.timeout(self._ap.config.ap.insn_ns(n_insns))
+        finally:
+            self._ap.busy.end()
+
+    def sleep(self, ns: float) -> Generator["Event", None, None]:
+        """Idle for ``ns`` (not counted as occupancy)."""
+        yield self.engine.timeout(ns)
+
+    def wait(self, event: "Event") -> Generator["Event", None, Any]:
+        """Block on an event without accruing occupancy ("do other work")."""
+        value = yield event
+        return value
+
+    # -- memory ------------------------------------------------------------
+
+    def load(self, addr: int, size: int) -> Generator["Event", None, bytes]:
+        """Read ``size`` bytes from physical address ``addr``."""
+        return (yield from self._ap.access(addr, size, None, self.pid))
+
+    def store(self, addr: int, data: bytes) -> Generator["Event", None, None]:
+        """Write ``data`` at physical address ``addr``."""
+        yield from self._ap.access(addr, len(data), data, self.pid)
+
+    def load_u32(self, addr: int) -> Generator["Event", None, int]:
+        """4-byte big-endian load."""
+        raw = yield from self.load(addr, 4)
+        return int.from_bytes(raw, "big")
+
+    def store_u32(self, addr: int, value: int) -> Generator["Event", None, None]:
+        """4-byte big-endian store."""
+        yield from self.store(addr, (value & 0xFFFFFFFF).to_bytes(4, "big"))
+
+
+class AppProcessor:
+    """Drives user program generators against one node's memory system."""
+
+    def __init__(self, node: "NodeBoard") -> None:
+        self.node = node
+        self.engine = node.engine
+        self.config: MachineConfig = node.config
+        self.name = f"ap{node.node_id}"
+        self.busy = node.stats.busy_tracker(f"{self.name}.busy")
+        self.loads = 0
+        self.stores = 0
+
+    # -- program execution ----------------------------------------------------
+
+    def run(self, program: Callable[..., Generator], *args: Any,
+            name: Optional[str] = None, pid: int = 0) -> "Process":
+        """Start ``program(api, *args)`` as a process on this aP.
+
+        ``pid`` tags the program's bus operations for queue-ownership
+        protection (0 = kernel: accepted everywhere).
+        """
+        api = ApApi(self, pid=pid)
+        return self.engine.process(
+            program(api, *args), name=name or f"{self.name}.{program.__name__}"
+        )
+
+    # -- memory access routing ----------------------------------------------------
+
+    def access(self, addr: int, size: int, data: Optional[bytes],
+               pid: int = 0) -> Generator["Event", None, Optional[bytes]]:
+        """Perform one load (``data is None``) or store, split as needed."""
+        if size <= 0:
+            raise ProgramError(f"access size must be positive, got {size}")
+        region = self.node.address_map.lookup(addr, size)
+        self.busy.begin()
+        try:
+            if data is None:
+                self.loads += 1
+                return (yield from self._read(region.mode, addr, size, pid))
+            self.stores += 1
+            yield from self._write(region.mode, addr, data, pid)
+            return None
+        finally:
+            self.busy.end()
+
+    # -- read paths -------------------------------------------------------------
+
+    def _read(self, mode: AccessMode, addr: int, size: int, pid: int
+              ) -> Generator["Event", None, bytes]:
+        if mode is AccessMode.CACHED:
+            out = bytearray()
+            for a, n in self._line_spans(addr, size):
+                out += yield from self.node.l2.load(a, n)
+            return bytes(out)
+        out = bytearray()
+        for a, n, burst in self._bus_spans(addr, size, mode):
+            op = BusOpType.READ_LINE if burst else BusOpType.READ
+            txn = BusTransaction(op, a, n, master=self.name, tag=pid)
+            yield from self.node.bus.transact(txn)
+            out += txn.data  # type: ignore[arg-type]
+        return bytes(out)
+
+    def _write(self, mode: AccessMode, addr: int, data: bytes, pid: int
+               ) -> Generator["Event", None, None]:
+        if mode is AccessMode.CACHED:
+            off = 0
+            for a, n in self._line_spans(addr, len(data)):
+                yield from self.node.l2.store(a, data[off : off + n])
+                off += n
+            return
+        off = 0
+        for a, n, burst in self._bus_spans(addr, len(data), mode):
+            op = BusOpType.WRITE_LINE if burst else BusOpType.WRITE
+            txn = BusTransaction(op, a, n, data=data[off : off + n],
+                                 master=self.name, tag=pid)
+            yield from self.node.bus.transact(txn)
+            off += n
+
+    # -- access decomposition ----------------------------------------------------
+    #
+    # The 604 performs naturally-aligned transfers: cached accesses split
+    # at line boundaries, uncached at 8-byte boundaries, burst windows use
+    # full-line transfers where aligned and singles at the ragged edges.
+
+    def _line_spans(self, addr: int, size: int):
+        line = self.config.bus.line_bytes
+        while size > 0:
+            n = min(line - (addr % line), size)
+            yield addr, n
+            addr += n
+            size -= n
+
+    def _bus_spans(self, addr: int, size: int, mode: AccessMode):
+        line = self.config.bus.line_bytes
+        while size > 0:
+            if mode is AccessMode.BURST and addr % line == 0 and size >= line:
+                yield addr, line, True
+                addr += line
+                size -= line
+            else:
+                n = min(8 - (addr % 8), size)
+                if mode is AccessMode.BURST:
+                    n = min(n, line - (addr % line))
+                yield addr, n, False
+                addr += n
+                size -= n

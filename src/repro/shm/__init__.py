@@ -1,0 +1,7 @@
+"""Shared-memory mechanisms: NUMA, S-COMA, and update-based user APIs."""
+
+from repro.shm.numa import NumaSpace
+from repro.shm.scoma import ScomaRegion
+from repro.shm.update import UpdateRegion
+
+__all__ = ["NumaSpace", "ScomaRegion", "UpdateRegion"]

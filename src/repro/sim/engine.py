@@ -1,0 +1,150 @@
+"""The discrete-event engine.
+
+A binary-heap scheduler over ``(time, sequence, callback)`` entries.  The
+sequence number makes scheduling deterministic: two callbacks scheduled
+for the same instant run in the order they were scheduled, on every run,
+on every platform.  Determinism is a hard requirement here — the whole
+point of the platform is comparing mechanisms, and noise from dict/heap
+tie-breaking would poison those comparisons.
+
+Time is a float in nanoseconds (see :mod:`repro.common.units`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import ProcGen, Process
+
+
+class Engine:
+    """Event loop, clock, and factory for events and processes."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._crashes: List[Tuple[Process, BaseException]] = []
+        #: processes whose failure should abort run() even if unjoined.
+        self.strict = True
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- factories -------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """A fresh pending event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that succeeds ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcGen, name: str = "") -> Process:
+        """Start a generator as a process at the current time."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Join helper: triggers when every event has succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Race helper: triggers on the first success."""
+        return AnyOf(self, events)
+
+    # -- scheduling (internal API used by events/processes) ---------------
+
+    def _push(self, time: float, fn: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn))
+
+    def _schedule_call(self, fn: Callable[[], None], delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._push(self._now + delay, fn)
+
+    def _schedule_timeout(self, ev: Event, delay: float, value: Any) -> None:
+        self._push(self._now + delay, lambda: ev.succeed(value))
+
+    def _schedule_event_callbacks(
+        self, ev: Event, callbacks: List[Callable[[Event], None]]
+    ) -> None:
+        # Callbacks run as a unit at the current time, after already-queued
+        # same-time entries scheduled earlier.
+        def run() -> None:
+            for cb in callbacks:
+                cb(ev)
+
+        self._push(self._now, run)
+
+    def _note_process_crash(self, proc: Process, exc: BaseException) -> None:
+        self._crashes.append((proc, exc))
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the heap drains or ``until`` is reached.
+
+        Returns the simulation time when execution stopped.  If a process
+        crashed with an unhandled exception and ``strict`` is set (the
+        default), the first crash is re-raised — silent process death is a
+        debugging nightmare in a simulator of this size.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"cannot run until {until} < now {self._now}")
+        while self._heap:
+            time, _seq, fn = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            if time < self._now:  # pragma: no cover - heap invariant
+                raise SimulationError("time went backwards")
+            self._now = time
+            fn()
+            if self._crashes and self.strict:
+                proc, exc = self._crashes[0]
+                raise SimulationError(
+                    f"process {proc.name!r} crashed at t={self._now:.1f}ns"
+                ) from exc
+        else:
+            if until is not None:
+                self._now = until
+        return self._now
+
+    def run_until_triggered(self, ev: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``ev`` triggers; return its value.
+
+        Raises :class:`SimulationError` if the event queue drains first (a
+        deadlock from the waiter's perspective) or the time ``limit`` is
+        hit.
+        """
+        while not ev.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"event queue drained before {ev!r} triggered (deadlock?)"
+                )
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimulationError(f"time limit {limit} hit before {ev!r}")
+            time, _seq, fn = heapq.heappop(self._heap)
+            self._now = time
+            fn()
+            if self._crashes and self.strict:
+                proc, exc = self._crashes[0]
+                raise SimulationError(
+                    f"process {proc.name!r} crashed at t={self._now:.1f}ns"
+                ) from exc
+        return ev.value
+
+    @property
+    def pending_events(self) -> int:
+        """Entries currently in the scheduling heap (diagnostics)."""
+        return len(self._heap)

@@ -1,0 +1,179 @@
+"""Statistics collection.
+
+Components register named statistics in a :class:`StatsRegistry`.  Three
+primitive kinds cover everything the experiments need:
+
+* :class:`Counter` — monotonically increasing event counts;
+* :class:`Accumulator` — sample statistics (latencies, sizes);
+* :class:`BusyTracker` — time-weighted busy/idle accounting, the basis of
+  the paper's aP/sP *occupancy* measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Counter:
+    """A monotonically increasing integer count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def incr(self, by: int = 1) -> None:
+        """Add ``by`` (non-negative) to the count."""
+        if by < 0:
+            raise SimulationError(f"counter {self.name!r} cannot decrease")
+        self.value += by
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class Accumulator:
+    """Streaming mean/min/max/variance over float samples (Welford)."""
+
+    __slots__ = ("name", "n", "_mean", "_m2", "min", "max", "total")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        """Record one sample."""
+        self.n += 1
+        self.total += x
+        d = x - self._mean
+        self._mean += d / self.n
+        self._m2 += d * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two samples)."""
+        return self._m2 / self.n if self.n > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Accumulator({self.name}: n={self.n} mean={self.mean:.2f} "
+            f"min={self.min:.2f} max={self.max:.2f})"
+        )
+
+
+class BusyTracker:
+    """Time-weighted busy accounting for a unit that is busy or idle.
+
+    Supports nested ``begin``/``end`` pairs (a processor that is "busy"
+    inside a handler that itself issues timed sub-work).
+    """
+
+    __slots__ = ("name", "engine", "_depth", "_since", "busy_ns")
+
+    def __init__(self, engine: "Engine", name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self._depth = 0
+        self._since = 0.0
+        self.busy_ns = 0.0
+
+    def begin(self) -> None:
+        """Enter a busy section."""
+        if self._depth == 0:
+            self._since = self.engine.now
+        self._depth += 1
+
+    def end(self) -> None:
+        """Leave a busy section."""
+        if self._depth <= 0:
+            raise SimulationError(f"busy tracker {self.name!r} not busy")
+        self._depth -= 1
+        if self._depth == 0:
+            self.busy_ns += self.engine.now - self._since
+
+    def current(self) -> float:
+        """Busy ns so far, including an open section."""
+        open_ns = (self.engine.now - self._since) if self._depth > 0 else 0.0
+        return self.busy_ns + open_ns
+
+    def occupancy(self, window_ns: Optional[float] = None) -> float:
+        """Busy fraction over ``window_ns`` (defaults to elapsed sim time)."""
+        window = window_ns if window_ns is not None else self.engine.now
+        return self.current() / window if window > 0 else 0.0
+
+
+class StatsRegistry:
+    """Hierarchically named statistics, shared by one machine instance."""
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self._counters: Dict[str, Counter] = {}
+        self._accumulators: Dict[str, Accumulator] = {}
+        self._busy: Dict[str, BusyTracker] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def accumulator(self, name: str) -> Accumulator:
+        """Get or create the accumulator ``name``."""
+        if name not in self._accumulators:
+            self._accumulators[name] = Accumulator(name)
+        return self._accumulators[name]
+
+    def busy_tracker(self, name: str) -> BusyTracker:
+        """Get or create the busy tracker ``name``."""
+        if name not in self._busy:
+            self._busy[name] = BusyTracker(self.engine, name)
+        return self._busy[name]
+
+    def report(self) -> Dict[str, float]:
+        """Flat snapshot of every statistic, for experiment logs."""
+        out: Dict[str, float] = {}
+        for name, c in sorted(self._counters.items()):
+            out[f"count.{name}"] = float(c.value)
+        for name, a in sorted(self._accumulators.items()):
+            if a.n:
+                out[f"mean.{name}"] = a.mean
+                out[f"max.{name}"] = a.max
+                out[f"n.{name}"] = float(a.n)
+        for name, b in sorted(self._busy.items()):
+            out[f"busy_ns.{name}"] = b.current()
+        return out
+
+    def names(self) -> List[str]:
+        """Every registered statistic name (diagnostics)."""
+        return sorted(
+            list(self._counters) + list(self._accumulators) + list(self._busy)
+        )

@@ -1,0 +1,87 @@
+"""Lightweight event tracing.
+
+A bounded ring of ``(time, source, kind, detail)`` records.  Tracing is
+off by default — a simulator this size cannot afford per-event string
+formatting on hot paths — and is enabled per category, so a test can
+trace ``"bus"`` without paying for ``"net"``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List, NamedTuple, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class TraceRecord(NamedTuple):
+    """One traced occurrence."""
+
+    time: float
+    source: str
+    kind: str
+    detail: Any
+
+
+class Tracer:
+    """Category-filtered bounded trace buffer."""
+
+    def __init__(self, engine: "Engine", capacity: int = 10_000) -> None:
+        self.engine = engine
+        self.capacity = capacity
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._enabled: Set[str] = set()
+        self._all = False
+
+    def enable(self, *categories: str) -> None:
+        """Enable tracing of the given categories ("*" = everything)."""
+        for cat in categories:
+            if cat == "*":
+                self._all = True
+            else:
+                self._enabled.add(cat)
+
+    def disable(self, *categories: str) -> None:
+        """Disable categories ("*" clears everything)."""
+        for cat in categories:
+            if cat == "*":
+                self._all = False
+                self._enabled.clear()
+            else:
+                self._enabled.discard(cat)
+
+    def wants(self, category: str) -> bool:
+        """True when records of ``category`` would be kept (hot-path guard)."""
+        return self._all or category in self._enabled
+
+    def emit(self, source: str, kind: str, detail: Any = None) -> None:
+        """Record one occurrence if its category (= ``kind`` prefix) is on.
+
+        ``kind`` uses dotted categories: ``bus.read``, ``net.send`` — the
+        part before the first dot is the filter category.
+        """
+        cat = kind.split(".", 1)[0]
+        if not self.wants(cat):
+            return
+        self._records.append(TraceRecord(self.engine.now, source, kind, detail))
+
+    def records(
+        self, kind_prefix: Optional[str] = None, source: Optional[str] = None
+    ) -> List[TraceRecord]:
+        """Snapshot of matching records in time order."""
+        out = []
+        for r in self._records:
+            if kind_prefix is not None and not r.kind.startswith(kind_prefix):
+                continue
+            if source is not None and r.source != source:
+                continue
+            out.append(r)
+        return out
+
+    def clear(self) -> None:
+        """Drop all buffered records."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)

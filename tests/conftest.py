@@ -1,0 +1,42 @@
+"""Shared fixtures: engines, configurations, machines.
+
+Machines are expensive to build, so tests that only read behaviour share
+module-scoped instances where safe; anything that mutates state builds
+its own via the factories here.
+"""
+
+import pytest
+
+import repro
+from repro.common.config import default_config
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine():
+    """A fresh simulation engine."""
+    return Engine()
+
+
+@pytest.fixture
+def config():
+    """The standard validated machine configuration."""
+    return default_config()
+
+
+@pytest.fixture
+def machine2():
+    """A fresh two-node machine with default firmware."""
+    return repro.StarTVoyager(repro.default_config(n_nodes=2))
+
+
+@pytest.fixture
+def machine4():
+    """A fresh four-node machine with default firmware."""
+    return repro.StarTVoyager(repro.default_config(n_nodes=4))
+
+
+def run_proc(engine, gen, limit=None):
+    """Start a generator as a process and run it to completion."""
+    proc = engine.process(gen)
+    return engine.run_until_triggered(proc, limit)

@@ -1,0 +1,76 @@
+"""Byte backing stores: bounds checks, word accessors."""
+
+import pytest
+
+from repro.common.errors import AddressError
+from repro.mem.backing import ByteBacking
+
+
+def test_read_write_roundtrip():
+    b = ByteBacking(256)
+    b.write(10, b"hello")
+    assert b.read(10, 5) == b"hello"
+    assert b.read(0, 10) == bytes(10)
+
+
+def test_bounds_low():
+    b = ByteBacking(16)
+    with pytest.raises(AddressError):
+        b.read(-1, 4)
+
+
+def test_bounds_high():
+    b = ByteBacking(16)
+    with pytest.raises(AddressError):
+        b.write(14, b"toolong")
+    with pytest.raises(AddressError):
+        b.read(16, 1)
+
+
+def test_exact_end_allowed():
+    b = ByteBacking(16)
+    b.write(12, b"abcd")
+    assert b.read(12, 4) == b"abcd"
+
+
+def test_negative_length():
+    with pytest.raises(AddressError):
+        ByteBacking(16).read(0, -1)
+
+
+def test_u32_big_endian():
+    b = ByteBacking(16)
+    b.write_u32(4, 0x0102_0304)
+    assert b.read(4, 4) == b"\x01\x02\x03\x04"
+    assert b.read_u32(4) == 0x0102_0304
+
+
+def test_u64_big_endian():
+    b = ByteBacking(16)
+    b.write_u64(8, 0x1122_3344_5566_7788)
+    assert b.read_u64(8) == 0x1122_3344_5566_7788
+
+
+def test_u32_truncates():
+    b = ByteBacking(8)
+    b.write_u32(0, 0x1_0000_0001)
+    assert b.read_u32(0) == 1
+
+
+def test_fill():
+    b = ByteBacking(32)
+    b.fill(8, 16, 0xAB)
+    assert b.read(8, 16) == b"\xab" * 16
+    assert b.read(0, 8) == bytes(8)
+    with pytest.raises(AddressError):
+        b.fill(0, 4, 300)
+
+
+def test_fill_constructor():
+    b = ByteBacking(8, fill=0x5A)
+    assert b.read(0, 8) == b"\x5a" * 8
+
+
+def test_size_validation():
+    with pytest.raises(AddressError):
+        ByteBacking(0)

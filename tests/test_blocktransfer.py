@@ -1,0 +1,145 @@
+"""The §6 block-transfer experiments: integrity and qualitative shape.
+
+The shape assertions encode what the paper's text claims about its
+Figures 3/4 — who wins, what each approach's occupancy profile is —
+using a 16 KB transfer, where the orderings are stable.
+"""
+
+import pytest
+
+import repro
+from repro.core.blocktransfer import BlockTransferExperiment, sweep
+
+SIZE = 16384
+
+
+def _run(approach, size=SIZE):
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=2))
+    return BlockTransferExperiment(machine).run(approach, size)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {a: _run(a) for a in (1, 2, 3, 4, 5)}
+
+
+@pytest.mark.parametrize("approach", [1, 2, 3, 4, 5])
+def test_data_integrity(results, approach):
+    assert results[approach].verified
+
+
+def test_bandwidth_ordering(results):
+    """Approach 3 beats 2 beats 1 on completion bandwidth at 16 KB."""
+    assert results[3].bandwidth_mb_s > results[2].bandwidth_mb_s
+    assert results[2].bandwidth_mb_s > results[1].bandwidth_mb_s
+
+
+def test_approach1_ap_bound(results):
+    """A1: the sender aP does all the work (high occupancy); sP idle."""
+    occ = results[1].occupancy_row()
+    assert occ["sender_ap"] > 0.5
+    assert occ["sender_sp"] < 0.05
+
+
+def test_approach2_shifts_to_sp(results):
+    """A2: sender aP is free; both sPs carry significant load — and the
+    receiver's sP occupancy stays below the aP occupancy A1 needed."""
+    occ1 = results[1].occupancy_row()
+    occ2 = results[2].occupancy_row()
+    assert occ2["sender_ap"] < 0.05
+    assert occ2["sender_sp"] > 0.2
+    assert occ2["receiver_sp"] > 0.2
+    assert occ2["sender_sp"] < occ1["sender_ap"]
+
+
+def test_approach3_minimal_occupancy(results):
+    """A3: 'occupancy of both the aP and sP is minimal to nil'."""
+    occ = results[3].occupancy_row()
+    assert occ["sender_ap"] < 0.05
+    assert occ["sender_sp"] < 0.10
+    assert occ["receiver_sp"] < 0.05
+
+
+def test_optimistic_notification_is_early(results):
+    """A4/A5 notify at ~25% of the data: far earlier than A3."""
+    assert results[4].notify_latency_ns < 0.55 * results[3].notify_latency_ns
+    assert results[5].notify_latency_ns < 0.55 * results[3].notify_latency_ns
+
+
+def test_approach4_pays_receiver_sp(results):
+    """A4's per-chunk firmware wakeups cost receiver-sP time that A5's
+    reconfigured aBIU hardware absorbs."""
+    occ4 = results[4].occupancy_row()
+    occ5 = results[5].occupancy_row()
+    assert occ4["receiver_sp"] > 0.3
+    assert occ5["receiver_sp"] < 0.05
+
+
+def test_optimistic_consumption_no_slower(results):
+    """Consuming through S-COMA stalls must not lose to waiting for the
+    full completion (the good case the paper hopes for)."""
+    assert results[4].data_ready_latency_ns <= \
+        1.10 * results[3].data_ready_latency_ns
+    assert results[5].data_ready_latency_ns <= \
+        1.10 * results[3].data_ready_latency_ns
+
+
+def test_latency_small_transfers_favor_direct_send():
+    """At small sizes the request/firmware setup of A2/A3 dominates and
+    plain aP sends (A1) win — the crossover the latency figure shows."""
+    r1 = _run(1, 256)
+    r3 = _run(3, 256)
+    assert r1.notify_latency_ns < r3.notify_latency_ns
+
+
+def test_sweep_helper():
+    results = sweep(lambda: repro.StarTVoyager(2), [1], [256, 1024])
+    assert len(results) == 2
+    assert all(r.verified for r in results)
+    assert [r.size for r in results] == [256, 1024]
+
+
+def test_invalid_approach_rejected():
+    machine = repro.StarTVoyager(2)
+    exp = BlockTransferExperiment(machine)
+    from repro.common.errors import ProgramError
+    with pytest.raises(ProgramError):
+        exp.run(6, 1024)
+
+
+def test_needs_two_nodes():
+    from repro.common.errors import ProgramError
+    with pytest.raises(ProgramError):
+        BlockTransferExperiment(repro.StarTVoyager(1))
+
+
+def test_two_pairs_share_network():
+    """Two simultaneous hardware transfers (0->1 and 2->3) both complete
+    byte-exact while sharing the fat tree."""
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=4))
+    # BlockTransferExperiment.run() drives the machine globally, so the
+    # concurrent version launches the transfers by hand
+    from repro.mp.basic import BasicPort
+    from repro.mp.dma import DmaNotifier, dma_write
+
+    size = 8192
+    patterns = {}
+    procs = []
+    for i, (src, dst) in enumerate([(0, 1), (2, 3)]):
+        pattern = bytes((i * 31 + j) & 0xFF for j in range(size))
+        patterns[dst] = pattern
+        machine.node(src).dram.poke(0x10000, pattern)
+        port = BasicPort(machine.node(src), 1, 1)
+        notifier = DmaNotifier(machine.node(dst))
+
+        def requester(api, p=port, d=dst):
+            yield from dma_write(api, p, d, 0x10000, 0x20000, size)
+
+        def waiter(api, n=notifier):
+            yield from n.wait(api)
+
+        procs.append(machine.spawn(src, requester))
+        procs.append(machine.spawn(dst, waiter))
+    machine.run_all(procs, limit=1e10)
+    for dst, pattern in patterns.items():
+        assert machine.node(dst).dram.peek(0x20000, size) == pattern

@@ -1,0 +1,291 @@
+"""The memory bus, DRAM, and SRAM models: timing, routing, retries."""
+
+import pytest
+
+from repro.bus.bus import MemoryBus
+from repro.bus.ops import BusOpType, BusTransaction
+from repro.bus.snoop import Snooper, SnoopResult
+from repro.common.config import default_config
+from repro.common.errors import AddressError, SimulationError
+from repro.mem.address import AccessMode, AddressMap, Region
+from repro.mem.dram import DRAM
+from repro.mem.sram import PORT_BUS, PORT_IBUS, DualPortedSRAM
+
+
+@pytest.fixture
+def rig(engine, config):
+    amap = AddressMap()
+    dram = DRAM(engine, config.dram, config.bus, base=0)
+    amap.add(Region("dram", 0, config.dram.size_bytes, AccessMode.CACHED,
+                    owner=dram))
+    bus = MemoryBus(engine, config.bus, amap)
+    return engine, bus, dram
+
+
+def _run(engine, gen):
+    return engine.run_until_triggered(engine.process(gen))
+
+
+def test_write_then_read(rig):
+    engine, bus, dram = rig
+
+    def body():
+        w = BusTransaction(BusOpType.WRITE, 0x100, 8, b"ABCDEFGH", master="m")
+        yield from bus.transact(w)
+        r = BusTransaction(BusOpType.READ, 0x100, 8, master="m")
+        yield from bus.transact(r)
+        return r.data
+
+    assert _run(engine, body()) == b"ABCDEFGH"
+
+
+def test_burst_roundtrip(rig):
+    engine, bus, dram = rig
+    line = bytes(range(32))
+
+    def body():
+        w = BusTransaction(BusOpType.WRITE_LINE, 0x200, 32, line, master="m")
+        yield from bus.transact(w)
+        r = BusTransaction(BusOpType.READ_LINE, 0x200, 32, master="m")
+        yield from bus.transact(r)
+        return r.data
+
+    assert _run(engine, body()) == line
+
+
+def test_single_beat_timing(rig):
+    engine, bus, dram = rig
+    cyc = bus.config.cycle_ns
+
+    def body():
+        r = BusTransaction(BusOpType.READ, 0x0, 8, master="m")
+        yield from bus.transact(r)
+
+    _run(engine, body())
+    # arb(1) + addr(1) + snoop(1) + DRAM first beat (6)
+    assert engine.now == pytest.approx(9 * cyc, rel=1e-6)
+
+
+def test_burst_timing(rig):
+    engine, bus, dram = rig
+    cyc = bus.config.cycle_ns
+
+    def body():
+        r = BusTransaction(BusOpType.READ_LINE, 0x0, 32, master="m")
+        yield from bus.transact(r)
+
+    _run(engine, body())
+    # arb + addr + snoop + first(6) + 3 more beats
+    assert engine.now == pytest.approx(12 * cyc, rel=1e-6)
+
+
+def test_burst_size_checked_at_transact(rig):
+    engine, bus, _ = rig
+
+    def body():
+        t = BusTransaction(BusOpType.READ_LINE, 0x0, 16, master="m")
+        yield from bus.transact(t)
+
+    with pytest.raises(SimulationError):
+        _run(engine, body())
+
+
+def test_burst_alignment_checked_at_transact(rig):
+    engine, bus, _ = rig
+
+    def body():
+        t = BusTransaction(BusOpType.READ_LINE, 0x8, 32, master="m")
+        yield from bus.transact(t)
+
+    with pytest.raises(SimulationError):
+        _run(engine, body())
+
+
+def test_unmapped_address(rig):
+    engine, bus, _ = rig
+
+    def body():
+        t = BusTransaction(BusOpType.READ, 0x9000_0000, 8, master="m")
+        yield from bus.transact(t)
+
+    with pytest.raises(SimulationError):  # crash wraps AddressError
+        _run(engine, body())
+
+
+class RetryNTimes(Snooper):
+    """Retries the first N snooped transactions."""
+
+    snooper_name = "retrier"
+
+    def __init__(self, n):
+        self.n = n
+
+    def snoop(self, txn):
+        if self.n > 0:
+            self.n -= 1
+            return SnoopResult.RETRY
+        return SnoopResult.OK
+
+
+def test_retry_then_success(rig):
+    engine, bus, dram = rig
+    bus.attach_snooper(RetryNTimes(3))
+
+    def body():
+        t = BusTransaction(BusOpType.READ, 0x0, 8, master="m")
+        yield from bus.transact(t)
+        return t.retries
+
+    assert _run(engine, body()) == 3
+
+
+def test_retry_cap(rig):
+    engine, bus, dram = rig
+    bus.config.max_retries = 5
+    bus.attach_snooper(RetryNTimes(10**6))
+
+    def body():
+        t = BusTransaction(BusOpType.READ, 0x0, 8, master="m")
+        yield from bus.transact(t)
+
+    with pytest.raises(SimulationError):
+        _run(engine, body())
+
+
+class AlwaysClaim(Snooper):
+    snooper_name = "claimer"
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def snoop(self, txn):
+        return SnoopResult.CLAIM
+
+    def serve(self, txn):
+        yield self.engine.timeout(1.0)
+        if txn.op.is_read:
+            return b"\xee" * txn.size
+        return None
+
+
+def test_claim_overrides_owner(rig):
+    engine, bus, dram = rig
+    dram.poke(0, b"\x11" * 8)
+    bus.attach_snooper(AlwaysClaim(engine))
+
+    def body():
+        t = BusTransaction(BusOpType.READ, 0x0, 8, master="m")
+        yield from bus.transact(t)
+        return t.data, t.intervened
+
+    data, intervened = _run(engine, body())
+    assert data == b"\xee" * 8
+    assert intervened
+
+
+def test_double_claim_is_error(rig):
+    engine, bus, dram = rig
+    bus.attach_snooper(AlwaysClaim(engine))
+    bus.attach_snooper(AlwaysClaim(engine))
+
+    def body():
+        t = BusTransaction(BusOpType.READ, 0x0, 8, master="m")
+        yield from bus.transact(t)
+
+    with pytest.raises(SimulationError):
+        _run(engine, body())
+
+
+def test_arbitration_serializes(rig):
+    engine, bus, dram = rig
+    times = []
+
+    def master(name):
+        t = BusTransaction(BusOpType.READ, 0x0, 8, master=name)
+        yield from bus.transact(t)
+        times.append(engine.now)
+
+    engine.process(master("a"))
+    engine.process(master("b"))
+    engine.run()
+    assert times[1] > times[0]
+    assert bus.utilization() > 0.9  # back-to-back transactions
+
+
+def test_wrong_size_handler_result(rig):
+    engine, bus, dram = rig
+
+    class BadClaim(AlwaysClaim):
+        def serve(self, txn):
+            yield self.engine.timeout(1.0)
+            return b"xx"  # wrong size
+
+    bus2 = MemoryBus(engine, bus.config, bus.address_map)
+    bus2.attach_snooper(BadClaim(engine))
+
+    def body():
+        t = BusTransaction(BusOpType.READ, 0x0, 8, master="m")
+        yield from bus2.transact(t)
+
+    with pytest.raises(SimulationError):
+        _run(engine, body())
+
+
+# -- DRAM/SRAM specifics ------------------------------------------------------
+
+def test_dram_peek_poke(rig):
+    _, _, dram = rig
+    dram.poke(0x40, b"zzz")
+    assert dram.peek(0x40, 3) == b"zzz"
+
+
+def test_sram_ports_independent(engine):
+    sram = DualPortedSRAM(engine, 1024, access_ns=10.0)
+    times = {}
+
+    def user(port, name):
+        data = yield from sram.read(port, 0, 8)
+        times[name] = engine.now
+
+    engine.process(user(PORT_BUS, "bus"))
+    engine.process(user(PORT_IBUS, "ibus"))
+    engine.run()
+    # different ports proceed in parallel
+    assert times["bus"] == times["ibus"] == pytest.approx(10.0)
+
+
+def test_sram_same_port_serializes(engine):
+    sram = DualPortedSRAM(engine, 1024, access_ns=10.0)
+    times = []
+
+    def user():
+        yield from sram.read(PORT_BUS, 0, 8)
+        times.append(engine.now)
+
+    engine.process(user())
+    engine.process(user())
+    engine.run()
+    assert times == [pytest.approx(10.0), pytest.approx(20.0)]
+
+
+def test_sram_beat_timing(engine):
+    sram = DualPortedSRAM(engine, 1024, access_ns=10.0, width_bytes=8)
+
+    def user():
+        yield from sram.write(PORT_BUS, 0, bytes(33))  # 5 beats
+
+    p = engine.process(user())
+    engine.run_until_triggered(p)
+    assert engine.now == pytest.approx(50.0)
+
+
+def test_sram_data_roundtrip(engine):
+    sram = DualPortedSRAM(engine, 128, access_ns=1.0)
+
+    def body():
+        yield from sram.write(PORT_IBUS, 16, b"from-ibus")
+        return (yield from sram.read(PORT_BUS, 16, 9))
+
+    p = engine.process(body())
+    assert engine.run_until_triggered(p) == b"from-ibus"
+    assert sram.peek(16, 9) == b"from-ibus"

@@ -1,0 +1,79 @@
+"""Express-message token channels."""
+
+import pytest
+
+import repro
+from repro.lib.channels import TokenChannel
+
+
+@pytest.fixture
+def m2():
+    return repro.StarTVoyager(repro.default_config(n_nodes=2))
+
+
+def test_token_roundtrip(m2):
+    c0, c1 = TokenChannel(m2, 0), TokenChannel(m2, 1)
+
+    def sender(api):
+        yield from c0.send(api, 1, channel=5, value=0xABCD1234)
+
+    def receiver(api):
+        return (yield from c1.recv(api, channel=5))
+
+    m2.spawn(0, sender)
+    src, value = m2.run_until(m2.spawn(1, receiver), limit=1e8)
+    assert (src, value) == (0, 0xABCD1234)
+
+
+def test_channel_demultiplexing(m2):
+    c0, c1 = TokenChannel(m2, 0), TokenChannel(m2, 1)
+
+    def sender(api):
+        yield from c0.send(api, 1, channel=1, value=111)
+        yield from c0.send(api, 1, channel=2, value=222)
+        yield from c0.send(api, 1, channel=1, value=112)
+
+    def receiver(api):
+        # ask for channel 2 first: channel-1 tokens get stashed
+        _s, v2 = yield from c1.recv(api, channel=2)
+        _s, v1a = yield from c1.recv(api, channel=1)
+        _s, v1b = yield from c1.recv(api, channel=1)
+        return v2, v1a, v1b
+
+    m2.spawn(0, sender)
+    assert m2.run_until(m2.spawn(1, receiver), limit=1e8) == (222, 111, 112)
+
+
+def test_value_bounds(m2):
+    c0 = TokenChannel(m2, 0)
+
+    def prog(api):
+        yield from c0.send(api, 1, channel=300, value=0)
+
+    from repro.common.errors import SimulationError
+    with pytest.raises(SimulationError):
+        m2.run_until(m2.spawn(0, prog), limit=1e7)
+
+    def prog2(api):
+        yield from c0.send(api, 1, channel=0, value=1 << 33)
+
+    with pytest.raises(SimulationError):
+        m2.run_until(m2.spawn(0, prog2), limit=1e7)
+
+
+def test_many_tokens_in_order(m2):
+    c0, c1 = TokenChannel(m2, 0), TokenChannel(m2, 1)
+
+    def sender(api):
+        for i in range(30):
+            yield from c0.send(api, 1, channel=0, value=i)
+
+    def receiver(api):
+        out = []
+        for _ in range(30):
+            _s, v = yield from c1.recv(api, channel=0)
+            out.append(v)
+        return out
+
+    m2.spawn(0, sender)
+    assert m2.run_until(m2.spawn(1, receiver), limit=1e9) == list(range(30))

@@ -1,0 +1,121 @@
+"""clsSRAM state bits and the (bus op x state) action table."""
+
+import pytest
+
+from repro.bus.ops import BusOpType
+from repro.common.errors import AddressError, ConfigError
+from repro.niu.clssram import (
+    CLS_INVALID,
+    CLS_PENDING,
+    CLS_RO,
+    CLS_RW,
+    ClsAction,
+    ClsSram,
+    install_scoma_default_table,
+)
+
+
+def _cls(n_lines=16):
+    return ClsSram(cover_base=0x1000, n_lines=n_lines, line_bytes=32)
+
+
+def test_coverage():
+    c = _cls()
+    assert c.covers(0x1000)
+    assert c.covers(0x1000 + 16 * 32 - 1)
+    assert not c.covers(0x1000 + 16 * 32)
+    assert not c.covers(0xFFF)
+
+
+def test_line_addressing():
+    c = _cls()
+    assert c.line_of(0x1000) == 0
+    assert c.line_of(0x1000 + 33) == 1
+    assert c.addr_of(2) == 0x1040
+    with pytest.raises(AddressError):
+        c.line_of(0x0)
+    with pytest.raises(AddressError):
+        c.addr_of(99)
+
+
+def test_state_bits():
+    c = _cls()
+    assert c.state(0) == CLS_INVALID  # default
+    c.set_state(0, CLS_RW)
+    assert c.state(0) == CLS_RW
+    with pytest.raises(AddressError):
+        c.set_state(0, 16)  # needs 4 bits
+
+
+def test_set_range():
+    c = _cls()
+    c.set_range(2, 4, CLS_RO)
+    assert [c.state(i) for i in range(8)] == \
+        [0, 0, CLS_RO, CLS_RO, CLS_RO, CLS_RO, 0, 0]
+
+
+def test_unprogrammed_pairs_pass():
+    c = _cls()
+    action = c.check(BusOpType.READ, 0x1000)
+    assert not action.retry and not action.pass_to_sp
+
+
+def test_action_table_lookup():
+    c = _cls()
+    c.set_action(BusOpType.READ, CLS_INVALID, ClsAction(retry=True,
+                                                        pass_to_sp=True))
+    a = c.check(BusOpType.READ, 0x1000)
+    assert a.retry and a.pass_to_sp
+    # a different state is a different table slot
+    c.set_state(1, CLS_RW)
+    a2 = c.check(BusOpType.READ, 0x1020)
+    assert not a2.retry
+
+
+def test_next_state_transition():
+    c = _cls()
+    install_scoma_default_table(c)
+    # first read of an INVALID line: retry + notify, flips to PENDING
+    a1 = c.check(BusOpType.READ, 0x1000)
+    assert a1.retry and a1.pass_to_sp
+    assert c.state(0) == CLS_PENDING
+    # retries of the PENDING line stay quiet
+    a2 = c.check(BusOpType.READ, 0x1000)
+    assert a2.retry and not a2.pass_to_sp
+
+
+def test_default_table_write_paths():
+    c = _cls()
+    install_scoma_default_table(c)
+    c.set_state(0, CLS_RO)
+    a = c.check(BusOpType.KILL, 0x1000)  # store upgrade against RO
+    assert a.retry and a.pass_to_sp
+    assert c.state(0) == CLS_PENDING
+    c.set_state(1, CLS_RW)
+    a2 = c.check(BusOpType.RWITM, 0x1020)  # owned: passes
+    assert not a2.retry
+
+
+def test_default_table_valid_reads_pass():
+    c = _cls()
+    install_scoma_default_table(c)
+    for state in (CLS_RO, CLS_RW):
+        c.set_state(3, state)
+        a = c.check(BusOpType.READ_LINE, 0x1060)
+        assert not a.retry and not a.pass_to_sp
+
+
+def test_statistics():
+    c = _cls()
+    install_scoma_default_table(c)
+    c.check(BusOpType.READ, 0x1000)
+    c.check(BusOpType.READ, 0x1000)
+    assert c.checks == 2
+    assert c.retries == 2
+
+
+def test_construction_validation():
+    with pytest.raises(ConfigError):
+        ClsSram(0x1000, 0, 32)
+    with pytest.raises(ConfigError):
+        ClsSram(0x1001, 4, 32)

@@ -1,0 +1,222 @@
+"""Command queues, the command processors, and the block units.
+
+Built against a full node so that the commands exercise the real aBIU
+bus-mastering path into DRAM and the real IBus/SRAM timings.
+"""
+
+import pytest
+
+import repro
+from repro.bus.ops import BusOpType
+from repro.common.errors import QueueError
+from repro.niu.clssram import CLS_RW
+from repro.niu.commands import (
+    LOCAL_CMDQ_0,
+    LOCAL_CMDQ_1,
+    REMOTE_CMDQ,
+    CmdBlockRead,
+    CmdBlockTx,
+    CmdBusOp,
+    CmdCall,
+    CmdCopySram,
+    CmdForward,
+    CmdNotify,
+    CmdReadDram,
+    CmdSendMessage,
+    CmdSetClsState,
+    CmdWriteDram,
+    CmdWriteDramFromSram,
+    CommandQueue,
+)
+from repro.niu.queues import BANK_A, BANK_S
+
+
+@pytest.fixture
+def m2():
+    return repro.StarTVoyager(repro.default_config(n_nodes=2))
+
+
+def _exec(machine, node, *cmds, queue=LOCAL_CMDQ_0):
+    """Enqueue commands in order and run until a fence fires."""
+    ctrl = machine.node(node).ctrl
+    done = machine.engine.event()
+    for cmd in cmds:
+        ctrl.cmdqs[queue].try_enqueue(cmd)
+    ctrl.cmdqs[queue].try_enqueue(CmdCall(done.succeed))
+    machine.run_until(done, limit=1e9)
+
+
+def test_write_dram(m2):
+    _exec(m2, 0, CmdWriteDram(0x3000, b"written-by-command"))
+    assert m2.node(0).dram.peek(0x3000, 18) == b"written-by-command"
+
+
+def test_write_dram_unaligned(m2):
+    data = bytes(range(100))
+    _exec(m2, 0, CmdWriteDram(0x3005, data))
+    assert m2.node(0).dram.peek(0x3005, 100) == data
+
+
+def test_read_dram_to_sram(m2):
+    m2.node(0).dram.poke(0x4000, b"dram->sram")
+    off = m2.node(0).niu.alloc_asram(64)
+    _exec(m2, 0, CmdReadDram(0x4000, 10, BANK_A, off))
+    assert m2.node(0).niu.asram.peek(off, 10) == b"dram->sram"
+
+
+def test_copy_sram(m2):
+    niu = m2.node(0).niu
+    src = niu.alloc_asram(64)
+    dst = niu.alloc_ssram(64)
+    niu.asram.poke(src, b"cross-ibus-copy")
+    _exec(m2, 0, CmdCopySram(BANK_A, src, BANK_S, dst, 15))
+    assert niu.ssram.peek(dst, 15) == b"cross-ibus-copy"
+
+
+def test_write_dram_from_sram(m2):
+    niu = m2.node(0).niu
+    off = niu.alloc_ssram(64)
+    niu.ssram.poke(off, b"sram-to-dram-direct")
+    _exec(m2, 0, CmdWriteDramFromSram(BANK_S, off, 0x5000, 19))
+    assert m2.node(0).dram.peek(0x5000, 19) == b"sram-to-dram-direct"
+
+
+def test_set_cls_state(m2):
+    # lines in the second page are homed on node 1, so they start INVALID
+    # on node 0 (the default S-COMA firmware initializes home lines RW)
+    cls = m2.node(0).niu.cls
+    first = m2.config.dram.page_bytes // m2.config.bus.line_bytes
+    assert cls.state(first) == 0
+    _exec(m2, 0, CmdSetClsState(first + 1, 3, CLS_RW))
+    states = [cls.state(first + i) for i in range(5)]
+    assert states == [0, CLS_RW, CLS_RW, CLS_RW, 0]
+
+
+def test_bus_op_kill(m2):
+    # prime the L2 with a modified line, then KILL it via command
+    node = m2.node(0)
+
+    def prime(api):
+        yield from api.store(0x6000, b"cachedat")
+
+    m2.run_until(m2.spawn(0, prime), limit=1e7)
+    from repro.mem.cache import LineState
+    assert node.l2.state_of(0x6000) is LineState.MODIFIED
+    _exec(m2, 0, CmdBusOp(BusOpType.FLUSH, 0x6000, 32))
+    assert node.l2.state_of(0x6000) is LineState.INVALID
+    assert node.dram.peek(0x6000, 8) == b"cachedat"
+
+
+def test_in_order_execution(m2):
+    # two writes to the same address: the later one must win
+    _exec(m2, 0,
+          CmdWriteDram(0x7000, b"AAAA"),
+          CmdWriteDram(0x7000, b"BBBB"))
+    assert m2.node(0).dram.peek(0x7000, 4) == b"BBBB"
+
+
+def test_notify_delivers_locally(m2):
+    from repro.mp.basic import BasicPort
+    port = BasicPort(m2.node(0), 0, 0)
+    _exec(m2, 0, CmdNotify(0, b"local-note", src_node=0))
+
+    def reader(api):
+        return (yield from port.recv(api))
+
+    src, payload = m2.run_until(m2.spawn(0, reader), limit=1e7)
+    assert payload == b"local-note"
+
+
+def test_forward_to_remote(m2):
+    _exec(m2, 0, CmdForward(1, CmdWriteDram(0x8000, b"cross-node-forward")))
+    m2.run(until=m2.now + 100_000)
+    assert m2.node(1).dram.peek(0x8000, 18) == b"cross-node-forward"
+
+
+def test_send_message_command(m2):
+    from repro.mp.basic import BasicPort
+    from repro.niu.msgformat import MsgHeader
+    from repro.niu.niu import SP_TX_GENERAL, vdst_for
+
+    port = BasicPort(m2.node(1), 0, 0)
+    hdr = MsgHeader(vdst=vdst_for(1, 0), length=9)
+    _exec(m2, 0, CmdSendMessage(SP_TX_GENERAL, hdr, b"cmd-send!"))
+
+    def reader(api):
+        return (yield from port.recv(api))
+
+    src, payload = m2.run_until(m2.spawn(1, reader), limit=1e8)
+    assert (src, payload) == (0, b"cmd-send!")
+
+
+def test_unknown_command_rejected(m2):
+    class Weird:  # not a Command
+        pass
+
+    with pytest.raises(QueueError):
+        m2.node(0).ctrl.cmdqs[0].try_enqueue(Weird())
+
+
+def test_block_read_page_limit(m2):
+    unit = m2.node(0).ctrl.block_read_unit
+    page = m2.config.dram.page_bytes
+    with pytest.raises(QueueError):
+        unit.submit(CmdBlockRead(0, page + 1, BANK_A, 0))
+    with pytest.raises(QueueError):
+        unit.submit(CmdBlockRead(page - 64, 128, BANK_A, 0))  # crosses page
+
+
+def test_block_read_and_tx_chained(m2):
+    engine = m2.engine
+    node0 = m2.node(0)
+    data = bytes((i * 3) & 0xFF for i in range(1024))
+    node0.dram.poke(0x9000, data)
+    buf = node0.niu.alloc_asram(1024)
+    read_done = engine.event()
+    tx_done = engine.event()
+    _exec(m2, 0,
+          CmdBlockRead(0x9000, 1024, BANK_A, buf, done=read_done),
+          CmdBlockTx(BANK_A, buf, 1024, dst_node=1, dst_addr=0xA000,
+                     after=read_done, done=tx_done),
+          queue=LOCAL_CMDQ_1)
+    m2.run_until(tx_done, limit=1e9)
+    m2.run(until=m2.now + 200_000)  # let the remote writes land
+    assert m2.node(1).dram.peek(0xA000, 1024) == data
+    assert node0.ctrl.block_read_unit.completed == 1
+    assert node0.ctrl.block_tx_unit.completed == 1
+
+
+def test_block_tx_notify_follows_data(m2):
+    from repro.mp.dma import DmaNotifier
+    node0 = m2.node(0)
+    data = bytes(512)
+    node0.dram.poke(0xB000, data)
+    buf = node0.niu.alloc_asram(512)
+    engine = m2.engine
+    read_done = engine.event()
+    _exec(m2, 0,
+          CmdBlockRead(0xB000, 512, BANK_A, buf, done=read_done),
+          CmdBlockTx(BANK_A, buf, 512, dst_node=1, dst_addr=0xC000,
+                     after=read_done, notify_queue=7,
+                     notify_payload=(512).to_bytes(4, "big")),
+          queue=LOCAL_CMDQ_1)
+    notifier = DmaNotifier(m2.node(1))
+
+    def waiter(api):
+        src, length = yield from notifier.wait(api)
+        # when the notification is readable, the data must already be there
+        d = m2.node(1).dram.peek(0xC000, 512)
+        return src, length, d == data
+
+    src, length, ok = m2.run_until(m2.spawn(1, waiter), limit=1e9)
+    assert (src, length, ok) == (0, 512, True)
+
+
+def test_command_queue_capacity(engine):
+    q = CommandQueue(engine, depth=2, name="t")
+    q.try_enqueue(CmdCall(lambda: None))
+    q.try_enqueue(CmdCall(lambda: None))
+    from repro.common.errors import QueueFullError
+    with pytest.raises(QueueFullError):
+        q.try_enqueue(CmdCall(lambda: None))
+    assert len(q) == 2

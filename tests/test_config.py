@@ -1,0 +1,115 @@
+"""MachineConfig defaults, validation, and copying."""
+
+import pytest
+
+from repro.common.config import (
+    BusConfig,
+    CacheConfig,
+    MachineConfig,
+    NetworkConfig,
+    NIUConfig,
+    ProcessorConfig,
+    default_config,
+)
+from repro.common.errors import ConfigError
+
+
+def test_default_is_valid():
+    cfg = default_config()
+    assert cfg.n_nodes == 2
+    assert cfg.ap.clock_mhz == 166.0
+    assert cfg.bus.clock_mhz == 66.0
+    assert cfg.network.link_mb_per_s == 160.0
+
+
+def test_paper_constants():
+    cfg = default_config()
+    # 96-byte Arctic packets leave 88 bytes of payload, the Basic cap
+    assert cfg.network.max_packet_bytes == 96
+    assert cfg.network.max_payload_bytes == 88
+    assert cfg.niu.basic_max_payload == 88
+    # 16 hardware queues each way
+    assert cfg.niu.n_hw_tx_queues == 16
+    assert cfg.niu.n_hw_rx_queues == 16
+    # at least two network priorities are required by the paper
+    assert cfg.network.priorities >= 2
+
+
+def test_processor_timing():
+    p = ProcessorConfig(clock_mhz=166.0, cpi=1.0)
+    assert p.insn_ns(166) == pytest.approx(1000.0, rel=1e-6)
+
+
+def test_bus_beats_per_line():
+    b = BusConfig()
+    assert b.beats_per_line == 4  # 32-byte line over a 64-bit bus
+
+
+def test_nodes_must_be_positive():
+    with pytest.raises(ConfigError):
+        MachineConfig(n_nodes=0).validate()
+
+
+def test_bad_bus_width():
+    cfg = default_config()
+    cfg.bus.width_bytes = 7
+    with pytest.raises(ConfigError):
+        cfg.validate()
+
+
+def test_line_mismatch_rejected():
+    cfg = default_config()
+    cfg.l2.line_bytes = 64
+    with pytest.raises(ConfigError):
+        cfg.validate()
+
+
+def test_payload_exceeding_packet_rejected():
+    cfg = default_config()
+    cfg.niu.basic_max_payload = 96
+    with pytest.raises(ConfigError):
+        cfg.validate()
+
+
+def test_priorities_minimum_two():
+    with pytest.raises(ConfigError):
+        NetworkConfig(priorities=1).validate()
+
+
+def test_queue_depth_power_of_two():
+    with pytest.raises(ConfigError):
+        NIUConfig(queue_depth=12).validate()
+
+
+def test_cache_geometry():
+    c = CacheConfig()
+    assert c.n_lines == 512 * 1024 // 32
+    assert c.n_sets * c.ways == c.n_lines
+    c.validate()
+
+
+def test_copy_is_deep():
+    cfg = default_config()
+    dup = cfg.copy()
+    dup.bus.clock_mhz = 100.0
+    assert cfg.bus.clock_mhz == 66.0
+
+
+def test_copy_with_override():
+    cfg = default_config()
+    dup = cfg.copy(n_nodes=8)
+    assert dup.n_nodes == 8
+    assert cfg.n_nodes == 2
+
+
+def test_describe_flat():
+    d = default_config().describe()
+    assert d["bus"]["clock_mhz"] == 66.0
+    assert d["network"]["radix"] == 4
+
+
+def test_firmware_costs_nonnegative():
+    cfg = default_config()
+    cfg.firmware.dispatch_insns = -1
+    with pytest.raises(ConfigError):
+        cfg.validate()

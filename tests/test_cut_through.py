@@ -1,0 +1,133 @@
+"""Virtual cut-through switching (the real Arctic's forwarding mode)."""
+
+import pytest
+
+from repro.common.config import default_config
+from repro.net.network import ArcticNetwork
+from repro.net.packet import PRIORITY_LOW, Packet, PacketKind
+from repro.sim.engine import Engine
+
+
+def _oneway_latency(n_nodes, cut_through, payload=88):
+    cfg = default_config(n_nodes=max(2, n_nodes))
+    cfg.network.cut_through = cut_through
+    engine = Engine()
+    net = ArcticNetwork(engine, cfg.network, n_nodes, seed=1)
+    got = {}
+
+    def sender():
+        pkt = Packet(PacketKind.DATA, 0, n_nodes - 1, 0, bytes(payload),
+                     route=net.route(0, n_nodes - 1))
+        yield from net.port(0).inject(pkt)
+
+    def receiver():
+        yield net.port(n_nodes - 1).receive(PRIORITY_LOW)
+        got["t"] = engine.now
+
+    engine.process(sender())
+    done = engine.process(receiver())
+    engine.run_until_triggered(done, limit=1e9)
+    return got["t"]
+
+
+def test_cut_through_beats_store_and_forward_multihop():
+    sf = _oneway_latency(16, False)
+    ct = _oneway_latency(16, True)
+    assert ct < 0.5 * sf  # 5 link hops collapse to ~1 serialization
+
+
+def test_cut_through_gain_grows_with_hops():
+    gain2 = _oneway_latency(2, False) / _oneway_latency(2, True)
+    gain16 = _oneway_latency(16, False) / _oneway_latency(16, True)
+    assert gain16 > gain2
+
+
+def test_final_hop_still_waits_for_tail():
+    """Even cut-through cannot deliver a packet to the node before its
+    full serialization time on at least one link."""
+    ct = _oneway_latency(2, True)
+    full_packet_ns = 96 * 6.25
+    assert ct >= full_packet_ns
+
+
+def test_bandwidth_unchanged_by_cut_through():
+    """Cut-through shortens latency, not link occupancy: a saturating
+    stream delivers the same rate either way."""
+
+    def stream(cut):
+        cfg = default_config(n_nodes=2)
+        cfg.network.cut_through = cut
+        engine = Engine()
+        net = ArcticNetwork(engine, cfg.network, 2, seed=1)
+
+        def sender():
+            for _ in range(60):
+                pkt = Packet(PacketKind.DATA, 0, 1, 0, bytes(88),
+                             route=net.route(0, 1))
+                yield from net.port(0).inject(pkt)
+
+        def receiver():
+            for _ in range(60):
+                yield net.port(1).receive(PRIORITY_LOW)
+
+        engine.process(sender())
+        done = engine.process(receiver())
+        engine.run_until_triggered(done, limit=1e10)
+        return 60 * 96 / engine.now * 1000.0
+
+    sf, ct = stream(False), stream(True)
+    assert ct == pytest.approx(sf, rel=0.10)
+
+
+def test_data_integrity_with_cut_through():
+    """Cut-through must not reorder or corrupt anything end-to-end."""
+    import repro
+
+    cfg = repro.default_config(n_nodes=4)
+    cfg.network.cut_through = True
+    machine = repro.StarTVoyager(cfg)
+    from repro.mp.basic import BasicPort
+    from repro.niu.niu import vdst_for
+
+    p0 = BasicPort(machine.node(0), 0, 0)
+    p3 = BasicPort(machine.node(3), 0, 0)
+
+    def sender(api):
+        for i in range(20):
+            yield from p0.send(api, vdst_for(3, 0), bytes([i]) * 30)
+
+    def receiver(api):
+        out = []
+        for _ in range(20):
+            _s, body = yield from p3.recv(api)
+            out.append(body[0])
+            assert body == bytes([body[0]]) * 30
+        return out
+
+    machine.spawn(0, sender)
+    got = machine.run_until(machine.spawn(3, receiver), limit=1e10)
+    assert got == list(range(20))
+
+
+def test_dma_works_with_cut_through():
+    import repro
+    from repro.mp.basic import BasicPort
+    from repro.mp.dma import DmaNotifier, dma_write
+
+    cfg = repro.default_config(n_nodes=2)
+    cfg.network.cut_through = True
+    machine = repro.StarTVoyager(cfg)
+    data = bytes((i * 5) & 0xFF for i in range(3000))
+    machine.node(0).dram.poke(0x10000, data)
+    port = BasicPort(machine.node(0), 1, 1)
+    notifier = DmaNotifier(machine.node(1))
+
+    def req(api):
+        yield from dma_write(api, port, 1, 0x10000, 0x20000, len(data))
+
+    def wait(api):
+        yield from notifier.wait(api)
+
+    machine.spawn(0, req)
+    machine.run_until(machine.spawn(1, wait), limit=1e10)
+    assert machine.node(1).dram.peek(0x20000, len(data)) == data

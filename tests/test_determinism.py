@@ -1,0 +1,89 @@
+"""Whole-machine determinism: identical runs produce identical histories.
+
+Mechanism comparisons are only meaningful if repeated runs are
+bit-identical — the paper's whole premise is "keeping all other
+parameters constant", and scheduling noise would break it.
+"""
+
+import pytest
+
+import repro
+from repro.core.blocktransfer import BlockTransferExperiment
+from repro.mp.basic import BasicPort
+from repro.niu.niu import vdst_for
+
+
+def _messaging_trace():
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=4))
+    ports = [BasicPort(machine.node(n), 0, 0) for n in range(4)]
+    log = []
+
+    def worker(api, rank):
+        for i in range(6):
+            dst = (rank + 1 + i) % 4
+            if dst != rank:
+                yield from ports[rank].send(api, vdst_for(dst, 0),
+                                            bytes([rank, i]))
+        for _ in range(_incoming(rank)):
+            src, payload = yield from ports[rank].recv(api)
+            log.append((api.now, rank, src, bytes(payload)))
+
+    def _incoming(rank):
+        count = 0
+        for sender in range(4):
+            for i in range(6):
+                if (sender + 1 + i) % 4 == rank and rank != sender:
+                    count += 1
+        return count
+
+    procs = [machine.spawn(n, worker, n) for n in range(4)]
+    machine.run_all(procs, limit=1e10)
+    return log, machine.now
+
+
+def test_messaging_history_identical():
+    (log1, t1) = _messaging_trace()
+    (log2, t2) = _messaging_trace()
+    assert t1 == t2
+    assert log1 == log2
+
+
+def test_block_transfer_identical():
+    def run():
+        machine = repro.StarTVoyager(repro.default_config(n_nodes=2))
+        r = BlockTransferExperiment(machine).run(3, 4096)
+        return (r.notify_latency_ns, r.data_ready_latency_ns,
+                r.sender_sp_busy_ns, r.receiver_sp_busy_ns)
+
+    assert run() == run()
+
+
+def test_statistics_identical():
+    def run():
+        machine = repro.StarTVoyager(repro.default_config(n_nodes=2))
+        BlockTransferExperiment(machine).run(2, 2048)
+        return machine.report()
+
+    assert run() == run()
+
+
+def test_seed_changes_routing_not_results():
+    """Different fat-tree seeds change routes but not message contents."""
+
+    def run(seed):
+        cfg = repro.default_config(n_nodes=8)
+        cfg.seed = seed
+        machine = repro.StarTVoyager(cfg)
+        p0 = BasicPort(machine.node(0), 0, 0)
+        p7 = BasicPort(machine.node(7), 0, 0)
+
+        def s(api):
+            yield from p0.send(api, vdst_for(7, 0), b"seeded")
+
+        def r(api):
+            return (yield from p7.recv(api))
+
+        machine.spawn(0, s)
+        return machine.run_until(machine.spawn(7, r), limit=1e9)
+
+    assert run(1) == run(99) == (0, b"seeded")

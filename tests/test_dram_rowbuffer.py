@@ -1,0 +1,111 @@
+"""The DRAM open-page (row buffer) model."""
+
+import pytest
+
+from repro.bus.bus import MemoryBus
+from repro.bus.ops import BusOpType, BusTransaction
+from repro.common.config import default_config
+from repro.common.errors import ConfigError
+from repro.mem.address import AccessMode, AddressMap, Region
+from repro.mem.dram import DRAM
+
+
+def _rig(engine, row_buffer=True):
+    config = default_config()
+    config.dram.row_buffer = row_buffer
+    config.dram.validate()
+    amap = AddressMap()
+    dram = DRAM(engine, config.dram, config.bus, base=0)
+    amap.add(Region("dram", 0, config.dram.size_bytes, AccessMode.CACHED,
+                    owner=dram))
+    bus = MemoryBus(engine, config.bus, amap)
+    return engine, bus, dram
+
+
+def _read(engine, bus, addr):
+    def body():
+        txn = BusTransaction(BusOpType.READ_LINE, addr, 32, master="m")
+        t0 = engine.now
+        yield from bus.transact(txn)
+        return engine.now - t0
+
+    return engine.run_until_triggered(engine.process(body()))
+
+
+def test_sequential_hits_open_row(engine):
+    engine, bus, dram = _rig(engine)
+    _read(engine, bus, 0x0)  # opens the row
+    assert dram.row_misses == 1
+    _read(engine, bus, 0x20)
+    _read(engine, bus, 0x40)
+    assert dram.row_hits == 2
+
+
+def test_hit_is_faster_than_miss(engine):
+    engine, bus, dram = _rig(engine)
+    miss_ns = _read(engine, bus, 0x0)
+    hit_ns = _read(engine, bus, 0x20)
+    assert hit_ns < miss_ns
+    cyc = bus.config.cycle_ns
+    assert miss_ns - hit_ns == pytest.approx(
+        (dram.config.first_beat_cycles
+         - dram.config.row_hit_first_beat_cycles) * cyc)
+
+
+def test_row_conflict_closes_row(engine):
+    engine, bus, dram = _rig(engine)
+    _read(engine, bus, 0x0)
+    # same bank, different row: stride = row_bytes * n_banks
+    stride = dram.config.row_bytes * dram.config.n_banks
+    _read(engine, bus, stride)
+    assert dram.row_misses == 2
+    _read(engine, bus, 0x0)  # original row was evicted
+    assert dram.row_misses == 3
+
+
+def test_banks_hold_independent_rows(engine):
+    engine, bus, dram = _rig(engine)
+    _read(engine, bus, 0x0)  # bank 0
+    _read(engine, bus, dram.config.row_bytes)  # bank 1
+    _read(engine, bus, 0x0)  # bank 0 row still open
+    assert dram.row_hits == 1
+    assert dram.row_misses == 2
+
+
+def test_flat_timing_when_disabled(engine):
+    engine, bus, dram = _rig(engine, row_buffer=False)
+    a = _read(engine, bus, 0x0)
+    b = _read(engine, bus, 0x20)
+    assert a == b
+    assert dram.row_hits == dram.row_misses == 0
+
+
+def test_config_validation():
+    cfg = default_config()
+    cfg.dram.row_buffer = True
+    cfg.dram.row_bytes = 1000  # not a power of two
+    with pytest.raises(ConfigError):
+        cfg.validate()
+    cfg.dram.row_bytes = 2048
+    cfg.dram.row_hit_first_beat_cycles = 99  # above miss latency
+    with pytest.raises(ConfigError):
+        cfg.validate()
+
+
+def test_block_read_benefits_from_open_page():
+    """The NIU's block read streams a page: mostly row hits, so open-page
+    timing speeds it measurably."""
+    import repro
+    from repro.core.blocktransfer import BlockTransferExperiment
+
+    def a3(row_buffer):
+        cfg = repro.default_config(n_nodes=2)
+        cfg.dram.row_buffer = row_buffer
+        machine = repro.StarTVoyager(cfg)
+        r = BlockTransferExperiment(machine).run(3, 8192)
+        assert r.verified
+        return r.notify_latency_ns
+
+    flat = a3(False)
+    openpage = a3(True)
+    assert openpage < flat

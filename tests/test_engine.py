@@ -1,0 +1,115 @@
+"""The discrete-event engine: ordering, determinism, deadlock detection."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_time_starts_at_zero(engine):
+    assert engine.now == 0.0
+
+
+def test_timeout_advances_time(engine):
+    ev = engine.timeout(100.0, value="done")
+    assert engine.run_until_triggered(ev) == "done"
+    assert engine.now == 100.0
+
+
+def test_same_time_fifo_order(engine):
+    order = []
+    for i in range(5):
+        engine.timeout(10.0).add_callback(lambda _e, i=i: order.append(i))
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_events_run_in_time_order(engine):
+    order = []
+    for delay in (30.0, 10.0, 20.0):
+        engine.timeout(delay, delay).add_callback(
+            lambda e: order.append(e.value))
+    engine.run()
+    assert order == [10.0, 20.0, 30.0]
+
+
+def test_run_until_limit(engine):
+    engine.timeout(100.0)
+    engine.timeout(500.0)
+    t = engine.run(until=200.0)
+    assert t == 200.0
+    assert engine.pending_events == 1
+
+
+def test_run_until_backwards_rejected(engine):
+    engine.timeout(100.0)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.run(until=50.0)
+
+
+def test_run_until_triggered_deadlock(engine):
+    forever = engine.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        engine.run_until_triggered(forever)
+
+
+def test_run_until_triggered_time_limit(engine):
+    def proc():
+        yield engine.timeout(1000.0)
+
+    p = engine.process(proc())
+    with pytest.raises(SimulationError, match="limit"):
+        engine.run_until_triggered(p, limit=100.0)
+
+
+def test_process_crash_surfaces(engine):
+    def bad():
+        yield engine.timeout(10.0)
+        raise RuntimeError("boom")
+
+    engine.process(bad())
+    with pytest.raises(SimulationError, match="crashed"):
+        engine.run()
+
+
+def test_crash_suppressed_when_not_strict(engine):
+    engine.strict = False
+
+    def bad():
+        yield engine.timeout(10.0)
+        raise RuntimeError("boom")
+
+    engine.process(bad())
+    engine.run()  # does not raise
+    assert engine.now == 10.0
+
+
+def test_determinism_across_engines():
+    def build():
+        eng = Engine()
+        log = []
+
+        def worker(name, delay):
+            yield eng.timeout(delay)
+            log.append((eng.now, name))
+            yield eng.timeout(delay)
+            log.append((eng.now, name))
+
+        for i in range(4):
+            eng.process(worker(f"p{i}", 5.0 + i))
+        eng.run()
+        return log
+
+    assert build() == build()
+
+
+def test_negative_delay_rejected(engine):
+    with pytest.raises(SimulationError):
+        engine.timeout(-1.0)
+
+
+def test_zero_delay_timeout_runs(engine):
+    ev = engine.timeout(0.0, "now")
+    assert engine.run_until_triggered(ev) == "now"
+    assert engine.now == 0.0

@@ -1,0 +1,94 @@
+"""Events: triggering, callbacks, combinators."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf
+
+
+def test_succeed_delivers_value(engine):
+    ev = engine.event()
+    ev.succeed(42)
+    assert ev.triggered and ev.ok
+    assert ev.value == 42
+
+
+def test_fail_raises_on_value(engine):
+    ev = engine.event()
+    ev.fail(ValueError("nope"))
+    assert ev.triggered and not ev.ok
+    with pytest.raises(ValueError):
+        _ = ev.value
+
+
+def test_pending_value_raises(engine):
+    ev = engine.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_double_trigger_rejected(engine):
+    ev = engine.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(ValueError())
+
+
+def test_fail_requires_exception(engine):
+    ev = engine.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_callback_after_trigger_runs_immediately(engine):
+    ev = engine.event()
+    ev.succeed("x")
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["x"]
+
+
+def test_callbacks_scheduled_through_engine(engine):
+    ev = engine.event()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    ev.succeed("y")
+    assert seen == []  # not yet: runs via the event loop
+    engine.run()
+    assert seen == ["y"]
+
+
+def test_all_of_collects_in_order(engine):
+    evs = [engine.timeout(d, d) for d in (30.0, 10.0, 20.0)]
+    combined = AllOf(engine, evs)
+    values = engine.run_until_triggered(combined)
+    assert values == [30.0, 10.0, 20.0]  # given order, not trigger order
+    assert engine.now == 30.0
+
+
+def test_all_of_empty_succeeds_immediately(engine):
+    assert AllOf(engine, []).triggered
+
+
+def test_all_of_fails_on_child_failure(engine):
+    good = engine.timeout(10.0)
+    bad = engine.event()
+    combined = AllOf(engine, [good, bad])
+    bad.fail(RuntimeError("child died"))
+    engine.run()
+    assert combined.triggered and not combined.ok
+
+
+def test_any_of_first_wins(engine):
+    evs = [engine.timeout(d, f"v{d}") for d in (30.0, 5.0, 20.0)]
+    combined = AnyOf(engine, evs)
+    index, value = engine.run_until_triggered(combined)
+    assert (index, value) == (1, "v5.0")
+    assert engine.now == 5.0
+
+
+def test_any_of_requires_children(engine):
+    with pytest.raises(SimulationError):
+        AnyOf(engine, [])

@@ -1,0 +1,119 @@
+"""The NUMA protocol: local/remote reads and writes, ordering."""
+
+import pytest
+
+import repro
+from repro.shm import NumaSpace
+
+
+@pytest.fixture
+def m2():
+    return repro.StarTVoyager(repro.default_config(n_nodes=2))
+
+
+@pytest.fixture
+def m4():
+    return repro.StarTVoyager(repro.default_config(n_nodes=4))
+
+
+def test_write_read_local_home(m2):
+    numa = NumaSpace(m2)
+
+    def prog(api):
+        yield from numa.write(api, 0, 0x40, b"homelocl")
+        return (yield from numa.read(api, 0, 0x40, 8))
+
+    assert m2.run_until(m2.spawn(0, prog), limit=1e9) == b"homelocl"
+
+
+def test_write_read_remote_home(m2):
+    numa = NumaSpace(m2)
+
+    def prog(api):
+        yield from numa.write(api, 1, 0x80, b"remote!!")
+        return (yield from numa.read(api, 1, 0x80, 8))
+
+    assert m2.run_until(m2.spawn(0, prog), limit=1e9) == b"remote!!"
+    assert numa.home_peek(1, 0x80, 8) == b"remote!!"
+
+
+def test_cross_node_visibility(m2):
+    numa = NumaSpace(m2)
+
+    def writer(api):
+        yield from numa.write(api, 0, 0x100, b"shared!!")
+
+    def reader(api):
+        # spin until the writer's value becomes visible at the home
+        while True:
+            v = yield from numa.read(api, 0, 0x100, 8)
+            if v == b"shared!!":
+                return v
+            yield from api.compute(100)
+
+    m2.spawn(0, writer)
+    assert m2.run_until(m2.spawn(1, reader), limit=1e9) == b"shared!!"
+
+
+def test_same_node_write_then_read_ordering(m2):
+    """A node's own write must be visible to its own subsequent read,
+    even for a remote home (FIFO queues serialize through the home)."""
+    numa = NumaSpace(m2)
+
+    def prog(api):
+        for i in range(5):
+            data = bytes([i] * 8)
+            yield from numa.write(api, 1, 0x200, data)
+            got = yield from numa.read(api, 1, 0x200, 8)
+            assert got == data, (i, got)
+        return True
+
+    assert m2.run_until(m2.spawn(0, prog), limit=1e10)
+
+
+def test_small_accesses(m2):
+    numa = NumaSpace(m2)
+
+    def prog(api):
+        yield from numa.write(api, 1, 0x300, b"ab")
+        return (yield from numa.read(api, 1, 0x300, 2))
+
+    assert m2.run_until(m2.spawn(0, prog), limit=1e9) == b"ab"
+
+
+def test_access_beyond_span_fails(m2):
+    numa = NumaSpace(m2)
+    from repro.common.errors import FirmwareError
+    with pytest.raises(FirmwareError):
+        numa.addr(5, 0)  # no node 5
+
+
+def test_four_node_all_to_all(m4):
+    numa = NumaSpace(m4)
+
+    def writer(api, me):
+        # each node writes a slot in every home
+        for home in range(4):
+            yield from numa.write(api, home, 0x400 + me * 8,
+                                  bytes([me] * 8))
+
+    procs = [m4.spawn(n, writer, n) for n in range(4)]
+    m4.run_all(procs, limit=1e10)
+    m4.run(until=m4.now + 500_000)  # let posted writes land
+    for home in range(4):
+        for me in range(4):
+            assert numa.home_peek(home, 0x400 + me * 8, 8) == bytes([me] * 8)
+
+
+def test_numa_occupies_firmware(m2):
+    """NUMA's defining cost: every access burns sP time."""
+    numa = NumaSpace(m2)
+
+    def prog(api):
+        for i in range(10):
+            yield from numa.write(api, 1, 0x500 + i * 8, bytes([i] * 8))
+            yield from numa.read(api, 1, 0x500 + i * 8, 8)
+
+    m2.run_until(m2.spawn(0, prog), limit=1e10)
+    assert m2.node(0).sp.busy.busy_ns > 0
+    assert m2.node(1).sp.busy.busy_ns > 0

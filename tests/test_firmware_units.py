@@ -1,0 +1,159 @@
+"""Firmware internals: DMA paging, BT2 dispatcher, arm handler, protocol
+packing."""
+
+import pytest
+
+import repro
+from repro.firmware import proto
+from repro.firmware.blockxfer import pack_bt45_arm, unpack_bt45_arm
+from repro.firmware.dma import split_pages
+from repro.niu.clssram import CLS_PENDING
+
+
+# -- split_pages ---------------------------------------------------------------
+
+def test_split_single_piece():
+    assert split_pages(0x1000, 100, 4096) == [(0x1000, 100)]
+
+
+def test_split_at_boundary():
+    assert split_pages(0x0, 8192, 4096) == [(0x0, 4096), (0x1000, 4096)]
+
+
+def test_split_unaligned_start():
+    pieces = split_pages(0xF00, 8192, 4096)
+    assert pieces[0] == (0xF00, 4096 - 0xF00)
+    assert sum(n for _a, n in pieces) == 8192
+    # every piece stays inside one page
+    for addr, n in pieces:
+        assert addr // 4096 == (addr + n - 1) // 4096
+
+
+def test_split_tiny_pieces_pipeline():
+    pieces = split_pages(0x0, 4096, 1024)
+    assert len(pieces) == 4
+    assert all(n == 1024 for _a, n in pieces)
+
+
+# -- protocol packing ------------------------------------------------------------
+
+def test_dma_req_roundtrip():
+    p = proto.pack_dma_req(0x123456, 3, 0xABCDEF, 70000, 7, 4)
+    assert proto.unpack_dma_req(p) == (0x123456, 3, 0xABCDEF, 70000, 7, 4)
+    assert len(p) <= 88
+
+
+def test_bt2_chunk_roundtrip():
+    p = proto.pack_bt2_chunk(0xDEAD00)
+    addr, data = proto.unpack_bt2_chunk(p + b"payload")
+    assert addr == 0xDEAD00
+    assert data == b"payload"
+
+
+def test_bt2_done_roundtrip():
+    p = proto.pack_bt2_done(7, 123456)
+    assert proto.unpack_bt2_done(p) == (7, 123456)
+
+
+def test_numa_packing_roundtrips():
+    assert proto.unpack_numa_rreq(proto.pack_numa_rreq(0x42, 8)) == (0x42, 8)
+    assert proto.unpack_numa_rrep(proto.pack_numa_rrep(0x42, b"abc")) == \
+        (0x42, b"abc")
+    assert proto.unpack_numa_wreq(proto.pack_numa_wreq(0x42, b"xyz")) == \
+        (0x42, b"xyz")
+
+
+def test_scoma_packing_roundtrips():
+    assert proto.unpack_scoma_req(proto.pack_scoma_req(True, 0x40, 2)) == \
+        (True, 0x40, 2)
+    assert proto.unpack_scoma_req(proto.pack_scoma_req(False, 0x40, 2)) == \
+        (False, 0x40, 2)
+    assert proto.unpack_scoma_inv(proto.pack_scoma_inv(0x80)) == 0x80
+    assert proto.unpack_scoma_invack(proto.pack_scoma_invack(0x80)) == 0x80
+    assert proto.unpack_scoma_wbreq(proto.pack_scoma_wbreq(0x80, True)) == \
+        (0x80, True)
+    line = bytes(range(32))
+    assert proto.unpack_scoma_wbdata(proto.pack_scoma_wbdata(0x80, line)) == \
+        (0x80, line)
+
+
+def test_wrong_type_rejected():
+    from repro.common.errors import FirmwareError
+    with pytest.raises(FirmwareError):
+        proto.unpack_dma_req(bytes([99]) + bytes(30))
+    with pytest.raises(FirmwareError):
+        proto.unpack_numa_rreq(bytes([1, 2, 3]))
+
+
+def test_address_width_guard():
+    from repro.common.errors import FirmwareError
+    with pytest.raises(FirmwareError):
+        proto.pack_numa_rreq(1 << 48, 8)
+
+
+def test_arm_roundtrip():
+    p = pack_bt45_arm(0x700000, 16384, 5)
+    assert unpack_bt45_arm(p) == (0x700000, 16384, 5)
+
+
+# -- arm handler behaviour -----------------------------------------------------------
+
+@pytest.fixture
+def m2():
+    return repro.StarTVoyager(repro.default_config(n_nodes=2))
+
+
+def _arm(m2, mode):
+    from repro.mp.basic import BasicPort
+    from repro.niu.niu import SP_SERVICE_QUEUE, vdst_for
+
+    node = m2.node(1)
+    base = node.scoma_base
+    port = BasicPort(node, 0, 0)
+
+    def prog(api):
+        yield from port.send(api, vdst_for(1, SP_SERVICE_QUEUE),
+                             pack_bt45_arm(base, 256, mode))
+
+    m2.run_until(m2.spawn(1, prog), limit=1e8)
+    m2.run(until=m2.now + 200_000)
+    return node.niu.cls
+
+
+@pytest.mark.parametrize("mode", [4, 5])
+def test_arm_sets_pending(m2, mode):
+    cls = _arm(m2, mode)
+    for line in range(8):  # 256 bytes = 8 lines
+        assert cls.state(line) == CLS_PENDING
+    # untouched lines keep their initial state
+    assert cls.state(9) != CLS_PENDING or cls.state(9) == 0
+
+
+def test_arm_mode5_uses_block_machinery(m2):
+    """Mode 5 arms via one CmdSetClsState instead of per-line firmware."""
+    sp = m2.node(1).sp
+    busy4_machine = repro.StarTVoyager(repro.default_config(n_nodes=2))
+    _arm(busy4_machine, 4)
+    busy4 = busy4_machine.node(1).sp.busy.busy_ns
+    _arm(m2, 5)
+    busy5 = sp.busy.busy_ns
+    assert busy5 < busy4  # hardware bulk set beats the firmware walk
+
+
+# -- DMA request validation --------------------------------------------------------
+
+def test_unknown_dma_mode_crashes_firmware(m2):
+    from repro.mp.basic import BasicPort
+    from repro.niu.niu import SP_SERVICE_QUEUE, vdst_for
+
+    port = BasicPort(m2.node(0), 0, 0)
+
+    def prog(api):
+        yield from port.send(
+            api, vdst_for(0, SP_SERVICE_QUEUE),
+            proto.pack_dma_req(0x10000, 1, 0x20000, 64, 7, mode=9))
+
+    m2.run_until(m2.spawn(0, prog), limit=1e8)
+    from repro.common.errors import SimulationError
+    with pytest.raises(SimulationError):
+        m2.run(until=m2.now + 200_000)

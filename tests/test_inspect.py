@@ -1,0 +1,68 @@
+"""Machine introspection output."""
+
+import pytest
+
+import repro
+from repro.core.inspect import describe_machine, describe_node
+
+
+@pytest.fixture(scope="module")
+def m2():
+    return repro.StarTVoyager(repro.default_config(n_nodes=2))
+
+
+def test_header_line(m2):
+    text = describe_machine(m2)
+    assert "2 node(s)" in text
+    assert "166 MHz" in text
+    assert "160 MB/s" in text
+
+
+def test_network_summary(m2):
+    assert "fat tree" in describe_machine(m2)
+
+
+def test_single_node_no_network():
+    m = repro.StarTVoyager(1)
+    assert "network: none" in describe_machine(m)
+
+
+def test_address_map_regions_listed(m2):
+    text = describe_machine(m2)
+    for name in ("dram", "dram.scoma", "niu0.ptr", "niu0.asram",
+                 "niu0.extx", "niu0.numa"):
+        assert name in text
+
+
+def test_queue_plan_listed(m2):
+    lines = describe_node(m2.node(0))
+    text = "\n".join(lines)
+    assert "tx0:" in text and "tx6:" in text
+    assert "logical 7" in text  # the notify queue
+    assert "irq" in text  # sP queues interrupt on arrival
+
+
+def test_handlers_listed(m2):
+    text = "\n".join(describe_node(m2.node(0)))
+    for handler in ("ptr-window", "sram-window", "express-tx",
+                    "express-rx", "numa", "scoma"):
+        assert handler in text
+
+
+def test_firmware_events_listed(m2):
+    text = "\n".join(describe_node(m2.node(0)))
+    assert "rxmsg" in text
+    assert "scoma_miss" in text
+    assert "missq" in text
+
+
+def test_shutdown_flag_shows():
+    m = repro.StarTVoyager(2)
+    m.node(0).ctrl.tx_queues[0].shutdown()
+    assert "SHUTDOWN" in "\n".join(describe_node(m.node(0)))
+
+
+def test_stable_across_builds():
+    a = describe_machine(repro.StarTVoyager(2))
+    b = describe_machine(repro.StarTVoyager(2))
+    assert a == b

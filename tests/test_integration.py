@@ -1,0 +1,218 @@
+"""Cross-mechanism integration: the workloads the platform exists for.
+
+The paper's pitch is that many communication abstractions coexist on one
+NIU "simultaneously" under protection.  These tests run them together.
+"""
+
+import pytest
+
+import repro
+from repro.lib.mpi import MiniMPI
+from repro.mp.basic import BasicPort
+from repro.mp.dma import DmaNotifier, dma_write
+from repro.mp.express import ExpressPort
+from repro.niu.niu import EXPRESS_RX_LOGICAL, vdst_for
+from repro.shm import NumaSpace, ScomaRegion
+
+
+@pytest.fixture
+def m2():
+    return repro.StarTVoyager(repro.default_config(n_nodes=2))
+
+
+def test_all_mechanisms_concurrently(m2):
+    """Basic + Express + DMA + NUMA + S-COMA in flight at once, all
+    byte-exact."""
+    basic0 = BasicPort(m2.node(0), 0, 0)
+    basic1 = BasicPort(m2.node(1), 0, 0)
+    dma_port = BasicPort(m2.node(0), 1, 1)
+    express0 = ExpressPort(m2.node(0))
+    express1 = ExpressPort(m2.node(1))
+    notifier = DmaNotifier(m2.node(1))
+    numa = NumaSpace(m2)
+    scoma = ScomaRegion(m2, n_lines=64)
+    scoma.init_data(0, bytes(range(32)))
+
+    dma_data = bytes((i * 7) & 0xFF for i in range(2048))
+    m2.node(0).dram.poke(0x14000, dma_data)
+    results = {}
+
+    def node0(api):
+        yield from basic0.send(api, vdst_for(1, 0), b"basic-concurrent")
+        yield from express0.send(api, vdst_for(1, EXPRESS_RX_LOGICAL),
+                                 b"exprs")
+        yield from dma_write(api, dma_port, 1, 0x14000, 0x24000,
+                             len(dma_data))
+        yield from numa.write(api, 1, 0x0, b"numawrit")
+        results["scoma0"] = yield from api.load(scoma.addr(0), 8)
+
+    def node1(api):
+        _s, basic_msg = yield from basic1.recv(api)
+        results["basic"] = basic_msg
+        _s, express_msg = yield from express1.recv_blocking(api)
+        results["express"] = express_msg
+        _s, length = yield from notifier.wait(api)
+        results["dma_len"] = length
+        results["scoma1"] = yield from api.load(scoma.addr(0), 8)
+
+    m2.run_all([m2.spawn(0, node0), m2.spawn(1, node1)], limit=1e10)
+    m2.run(until=m2.now + 500_000)  # drain posted NUMA writes
+    assert results["basic"] == b"basic-concurrent"
+    assert results["express"] == b"exprs"
+    assert results["dma_len"] == len(dma_data)
+    assert m2.node(1).dram.peek(0x24000, len(dma_data)) == dma_data
+    assert numa.home_peek(1, 0x0, 8) == b"numawrit"
+    assert results["scoma0"] == results["scoma1"] == bytes(range(8))
+
+
+def test_protection_isolates_queues(m2):
+    """A protection violation on one queue leaves every other queue and
+    the other mechanisms running."""
+    from repro.niu.msgformat import FLAG_RAW, MsgHeader, encode_header
+
+    ctrl = m2.node(0).ctrl
+    good_port = BasicPort(m2.node(0), 1, 1)
+    good_rx = BasicPort(m2.node(1), 1, 1)
+
+    # inject an illegal raw message into queue 0
+    q0 = ctrl.tx_queues[0]
+    hdr = MsgHeader(flags=FLAG_RAW, vdst=1, dst_queue=0, length=0)
+    m2.node(0).niu.asram.poke(q0.slot_offset(0), encode_header(hdr))
+    ctrl.tx_producer_update(0, 1)
+
+    def sender(api):
+        yield from good_port.send(api, vdst_for(1, 1), b"unaffected")
+
+    def receiver(api):
+        return (yield from good_rx.recv(api))
+
+    m2.spawn(0, sender)
+    src, payload = m2.run_until(m2.spawn(1, receiver), limit=1e9)
+    assert payload == b"unaffected"
+    assert not ctrl.tx_queues[0].enabled  # the offender is dead
+    assert ctrl.tx_queues[1].enabled
+
+
+def test_queue_cache_many_logical_queues(m2):
+    """Traffic to resident and non-resident logical queues interleaves;
+    resident queues stay fast, non-resident ones arrive via firmware."""
+    from repro.firmware.msg import declare_dram_queue
+    from repro.mp.dramq import DramQueueReader
+
+    node1 = m2.node(1)
+    rings = {
+        logical: declare_dram_queue(node1.sp, logical,
+                                    0x30000 + i * 0x2000, depth=8)
+        for i, logical in enumerate((10, 11, 12))
+    }
+    readers = {q: DramQueueReader(r) for q, r in rings.items()}
+    port0 = BasicPort(m2.node(0), 0, 0)
+    port1 = BasicPort(node1, 0, 0)
+
+    def sender(api):
+        for i in range(12):
+            logical = (10, 11, 12, 0)[i % 4]
+            yield from port0.send(api, vdst_for(1, logical),
+                                  bytes([logical, i]))
+
+    def receiver(api):
+        fast, slow = [], []
+        for _ in range(3):
+            _s, p = yield from port1.recv(api)
+            fast.append(tuple(p))
+        for logical in (10, 11, 12):
+            for _ in range(3):
+                _s, p = yield from readers[logical].recv(api)
+                slow.append(tuple(p))
+        return fast, slow
+
+    m2.spawn(0, sender)
+    fast, slow = m2.run_until(m2.spawn(1, receiver), limit=1e10)
+    assert all(p[0] == 0 for p in fast)
+    assert sorted(p[0] for p in slow) == [10, 10, 10, 11, 11, 11, 12, 12, 12]
+    assert node1.ctrl.rx_cache.misses >= 9
+
+
+def test_mpi_over_shared_machine_with_dma(m2):
+    """The MPI library and raw DMA share the NIU without interference."""
+    mpi = MiniMPI(m2)
+    dma_port = BasicPort(m2.node(0), 3, 3)
+    notifier = DmaNotifier(m2.node(1))
+    payload = bytes(200)
+    m2.node(0).dram.poke(0x15000, bytes([9] * 512))
+
+    def r0(api):
+        yield from dma_write(api, dma_port, 1, 0x15000, 0x25000, 512)
+        yield from mpi.rank(0).send(api, 1, payload, tag=4)
+        yield from mpi.rank(0).barrier(api)
+
+    def r1(api):
+        _s, _t, data = yield from mpi.rank(1).recv(api, tag=4)
+        yield from notifier.wait(api)
+        yield from mpi.rank(1).barrier(api)
+        return data
+
+    procs = [m2.spawn(0, r0), m2.spawn(1, r1)]
+    results = m2.run_all(procs, limit=1e10)
+    assert results[1] == payload
+    assert m2.node(1).dram.peek(0x25000, 512) == bytes([9] * 512)
+
+
+def test_four_node_ring_pipeline(machine4):
+    """A pipeline around four nodes: each forwards what it receives."""
+    m = machine4
+    ports = [BasicPort(m.node(n), 0, 0) for n in range(4)]
+
+    def stage(api, rank):
+        if rank == 0:
+            yield from ports[0].send(api, vdst_for(1, 0), b"token-0")
+            _s, final = yield from ports[0].recv(api)
+            return final
+        _s, msg = yield from ports[rank].recv(api)
+        nxt = (rank + 1) % 4
+        yield from ports[rank].send(api, vdst_for(nxt, 0),
+                                    msg + b"-%d" % rank)
+
+    procs = [m.spawn(n, stage, n) for n in range(4)]
+    results = m.run_all(procs, limit=1e10)
+    assert results[0] == b"token-0-1-2-3"
+
+
+def test_protocol_latency_isolated_from_bulk(m2):
+    """Shared-memory protocol traffic keeps its latency while bulk DMA
+    saturates the network — the paper's two-priority requirement plus
+    the split remote command queue and the background DMA engine.
+
+    Regression guard: before the high-priority remote command queue and
+    the background firmware task existed, this ratio was ~60x.
+    """
+    from repro.shm import ScomaRegion
+
+    def miss_ns(background):
+        machine = repro.StarTVoyager(repro.default_config(n_nodes=2))
+        region = ScomaRegion(machine, n_lines=64)
+        region.init_data(0, bytes(range(32)))
+        if background:
+            machine.node(0).dram.poke(0x10000, bytes(16384))
+            port = BasicPort(machine.node(0), 1, 1)
+
+            def bulk(api):
+                for _ in range(2):
+                    yield from dma_write(api, port, 1, 0x10000, 0x28000,
+                                         8192)
+
+            machine.spawn(0, bulk)
+            machine.run(until=machine.now + 30_000)
+        out = {}
+
+        def prog(api):
+            t0 = api.now
+            yield from api.load(region.addr(0), 8)
+            out["ns"] = api.now - t0
+
+        machine.run_until(machine.spawn(1, prog), limit=1e10)
+        return out["ns"]
+
+    quiet = miss_ns(False)
+    loaded = miss_ns(True)
+    assert loaded < 4.0 * quiet

@@ -1,0 +1,181 @@
+"""The mini-MPI library: point-to-point, fragmentation, collectives."""
+
+import pytest
+
+import repro
+from repro.lib.mpi import FRAG_DATA, MiniMPI
+
+
+@pytest.fixture
+def m2():
+    return repro.StarTVoyager(repro.default_config(n_nodes=2))
+
+
+@pytest.fixture
+def m4():
+    return repro.StarTVoyager(repro.default_config(n_nodes=4))
+
+
+def test_send_recv_small(m2):
+    mpi = MiniMPI(m2)
+
+    def a(api):
+        yield from mpi.rank(0).send(api, 1, b"tiny", tag=3)
+
+    def b(api):
+        return (yield from mpi.rank(1).recv(api))
+
+    m2.spawn(0, a)
+    src, tag, data = m2.run_until(m2.spawn(1, b), limit=1e9)
+    assert (src, tag, data) == (0, 3, b"tiny")
+
+
+def test_fragmentation_roundtrip(m2):
+    mpi = MiniMPI(m2)
+    big = bytes((i * 11 + 3) & 0xFF for i in range(5 * FRAG_DATA + 17))
+
+    def a(api):
+        yield from mpi.rank(0).send(api, 1, big)
+
+    def b(api):
+        return (yield from mpi.rank(1).recv(api, src=0))
+
+    m2.spawn(0, a)
+    _src, _tag, data = m2.run_until(m2.spawn(1, b), limit=1e10)
+    assert data == big
+
+
+def test_empty_message(m2):
+    mpi = MiniMPI(m2)
+
+    def a(api):
+        yield from mpi.rank(0).send(api, 1, b"")
+
+    def b(api):
+        return (yield from mpi.rank(1).recv(api))
+
+    m2.spawn(0, a)
+    _src, _tag, data = m2.run_until(m2.spawn(1, b), limit=1e9)
+    assert data == b""
+
+
+def test_tag_matching_out_of_order(m2):
+    mpi = MiniMPI(m2)
+
+    def a(api):
+        yield from mpi.rank(0).send(api, 1, b"first", tag=1)
+        yield from mpi.rank(0).send(api, 1, b"second", tag=2)
+
+    def b(api):
+        r = mpi.rank(1)
+        # ask for tag 2 first: tag 1 gets buffered
+        _s, _t, d2 = yield from r.recv(api, tag=2)
+        _s, _t, d1 = yield from r.recv(api, tag=1)
+        return d1, d2
+
+    m2.spawn(0, a)
+    d1, d2 = m2.run_until(m2.spawn(1, b), limit=1e9)
+    assert (d1, d2) == (b"first", b"second")
+
+
+def test_wildcard_source(m4):
+    mpi = MiniMPI(m4)
+
+    def sender(api, rank):
+        yield from mpi.rank(rank).send(api, 0, bytes([rank]), tag=9)
+
+    def collector(api):
+        got = set()
+        r = mpi.rank(0)
+        for _ in range(3):
+            src, _tag, data = yield from r.recv(api, tag=9)
+            got.add((src, data[0]))
+        return got
+
+    for n in (1, 2, 3):
+        m4.spawn(n, sender, n)
+    got = m4.run_until(m4.spawn(0, collector), limit=1e10)
+    assert got == {(1, 1), (2, 2), (3, 3)}
+
+
+def test_barrier_synchronizes(m4):
+    mpi = MiniMPI(m4)
+    after = []
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        yield from api.compute(rank * 5000)  # skewed arrival
+        yield from comm.barrier(api)
+        after.append((rank, api.now))
+
+    procs = [m4.spawn(n, worker, n) for n in range(4)]
+    m4.run_all(procs, limit=1e10)
+    times = [t for _r, t in after]
+    # nobody leaves the barrier much before the slowest arrives
+    slowest_arrival = m4.config.ap.insn_ns(3 * 5000)
+    assert min(times) >= slowest_arrival
+
+
+def test_bcast(m4):
+    mpi = MiniMPI(m4)
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        data = yield from comm.bcast(
+            api, b"broadcast-data" if rank == 0 else None, root=0)
+        return data
+
+    procs = [m4.spawn(n, worker, n) for n in range(4)]
+    assert m4.run_all(procs, limit=1e10) == [b"broadcast-data"] * 4
+
+
+def test_gather(m4):
+    mpi = MiniMPI(m4)
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        return (yield from comm.gather(api, bytes([rank * 2]), root=0))
+
+    procs = [m4.spawn(n, worker, n) for n in range(4)]
+    results = m4.run_all(procs, limit=1e10)
+    assert results[0] == [b"\x00", b"\x02", b"\x04", b"\x06"]
+    assert results[1] is None
+
+
+def test_reduce_and_allreduce(m4):
+    mpi = MiniMPI(m4)
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        total = yield from comm.reduce(api, rank + 1, root=0)
+        yield from comm.barrier(api)
+        everyone = yield from comm.allreduce(api, rank + 1)
+        return total, everyone
+
+    procs = [m4.spawn(n, worker, n) for n in range(4)]
+    results = m4.run_all(procs, limit=1e10)
+    assert results[0][0] == 10  # 1+2+3+4 at the root
+    assert all(r[1] == 10 for r in results)
+
+
+def test_allreduce_custom_op(m2):
+    mpi = MiniMPI(m2)
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        return (yield from comm.allreduce(api, rank + 3,
+                                          op=lambda a, b: a * b))
+
+    procs = [m2.spawn(n, worker, n) for n in range(2)]
+    assert m2.run_all(procs, limit=1e10) == [12, 12]
+
+
+def test_bad_rank_rejected(m2):
+    mpi = MiniMPI(m2)
+
+    def a(api):
+        yield from mpi.rank(0).send(api, 7, b"x")
+
+    from repro.common.errors import SimulationError
+    with pytest.raises(SimulationError):
+        m2.run_until(m2.spawn(0, a), limit=1e8)

@@ -1,0 +1,90 @@
+"""Message header encode/decode and validity rules."""
+
+import pytest
+
+from repro.common.errors import QueueError
+from repro.niu.msgformat import (
+    FLAG_RAW,
+    FLAG_TAGON,
+    HEADER_BYTES,
+    MAX_PAYLOAD,
+    TAGON_LARGE_UNITS,
+    TAGON_SMALL_UNITS,
+    MsgHeader,
+    decode_header,
+    decode_rx_header,
+    encode_header,
+    encode_rx_header,
+)
+
+
+def test_roundtrip_plain():
+    h = MsgHeader(vdst=0x42, length=17, src_node=3)
+    out = decode_header(encode_header(h))
+    assert (out.vdst, out.length, out.src_node) == (0x42, 17, 3)
+    assert not out.is_raw and not out.has_tagon
+
+
+def test_roundtrip_tagon():
+    h = MsgHeader(flags=FLAG_TAGON, vdst=1, length=8,
+                  tagon_bank=1, tagon_offset=0x1230 & ~7,
+                  tagon_units=TAGON_LARGE_UNITS)
+    out = decode_header(encode_header(h))
+    assert out.has_tagon
+    assert out.tagon_bank == 1
+    assert out.tagon_offset == h.tagon_offset
+    assert out.tagon_bytes == 80
+
+
+def test_tagon_sizes_match_paper():
+    # "an additional 1.5 or 2.5 cache-lines of SRAM data"
+    assert TAGON_SMALL_UNITS * 16 == 48  # 1.5 x 32B lines
+    assert TAGON_LARGE_UNITS * 16 == 80  # 2.5 x 32B lines
+
+
+def test_raw_flag():
+    h = MsgHeader(flags=FLAG_RAW, vdst=5, dst_queue=9, length=0)
+    out = decode_header(encode_header(h))
+    assert out.is_raw
+    assert out.dst_queue == 9
+
+
+def test_payload_cap():
+    with pytest.raises(QueueError):
+        MsgHeader(length=MAX_PAYLOAD + 1).validate()
+
+
+def test_payload_plus_tagon_cap():
+    # payload + tagon must fit a single packet payload
+    h = MsgHeader(flags=FLAG_TAGON, length=40, tagon_units=TAGON_LARGE_UNITS)
+    with pytest.raises(QueueError):
+        h.validate()
+    h2 = MsgHeader(flags=FLAG_TAGON, length=8, tagon_units=TAGON_LARGE_UNITS)
+    h2.validate()  # 8 + 80 = 88: exactly fits
+
+
+def test_bad_tagon_units():
+    with pytest.raises(QueueError):
+        MsgHeader(flags=FLAG_TAGON, tagon_units=4).validate()
+
+
+def test_tagon_alignment():
+    with pytest.raises(QueueError):
+        MsgHeader(flags=FLAG_TAGON, tagon_offset=13,
+                  tagon_units=TAGON_SMALL_UNITS).validate()
+
+
+def test_decode_wrong_length():
+    with pytest.raises(QueueError):
+        decode_header(b"short")
+
+
+def test_rx_header_roundtrip():
+    raw = encode_rx_header(src_node=7, length=33, flags=2)
+    assert len(raw) == HEADER_BYTES
+    assert decode_rx_header(raw) == (7, 33, 2)
+
+
+def test_rx_header_length_cap():
+    with pytest.raises(QueueError):
+        encode_rx_header(0, MAX_PAYLOAD + 1)

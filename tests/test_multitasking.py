@@ -1,0 +1,198 @@
+"""Queue ownership protection: the multitasking story of §4/§7.
+
+"By providing simple protection, translation and multiple queues ...
+[the NIU] allows for more general parallel computing and more flexible
+job-scheduling in multitasking of the parallel system."
+
+Two "processes" (pids) share one node; each owns its queues.  Touching
+another process's queue pointer shuts the queue down and interrupts
+firmware, while the victim's *other* resources keep working.
+"""
+
+import pytest
+
+import repro
+from repro.mem.address import NIU_CTL_BASE
+from repro.mp.basic import BasicPort
+from repro.niu.handlers import pointer_offset
+from repro.niu.niu import PTR_WINDOW_OFF, vdst_for
+from repro.niu.queues import QueueKind
+
+
+@pytest.fixture
+def m2():
+    return repro.StarTVoyager(repro.default_config(n_nodes=2))
+
+
+def _own(machine, node, tx_idx, logical, pid):
+    niu = machine.node(node).niu
+    niu.ctrl.tx_queues[tx_idx].owner_pid = pid
+    niu.ap_rx_slot(logical).owner_pid = pid
+
+
+def test_owner_can_use_queue(m2):
+    _own(m2, 0, 0, 0, pid=7)
+    _own(m2, 1, 0, 0, pid=0)
+    port0 = BasicPort(m2.node(0), 0, 0)
+    port1 = BasicPort(m2.node(1), 0, 0)
+
+    def sender(api):
+        yield from port0.send(api, vdst_for(1, 0), b"owned-queue")
+
+    def receiver(api):
+        return (yield from port1.recv(api))
+
+    m2.spawn(0, sender, pid=7)
+    src, payload = m2.run_until(m2.spawn(1, receiver), limit=1e9)
+    assert payload == b"owned-queue"
+    assert m2.node(0).ctrl.tx_queues[0].enabled
+
+
+def test_kernel_pid_accepted_everywhere(m2):
+    _own(m2, 0, 0, 0, pid=7)
+    port0 = BasicPort(m2.node(0), 0, 0)
+    port1 = BasicPort(m2.node(1), 0, 0)
+
+    def sender(api):  # pid 0 = kernel
+        yield from port0.send(api, vdst_for(1, 0), b"kernel-send")
+
+    def receiver(api):
+        return (yield from port1.recv(api))
+
+    m2.spawn(0, sender)  # default pid 0
+    _src, payload = m2.run_until(m2.spawn(1, receiver), limit=1e9)
+    assert payload == b"kernel-send"
+
+
+def test_intruder_shuts_queue_down(m2):
+    _own(m2, 0, 0, 0, pid=7)
+    ctrl = m2.node(0).ctrl
+    base = NIU_CTL_BASE + PTR_WINDOW_OFF
+
+    def intruder(api):
+        # pid 9 pokes pid 7's transmit producer
+        yield from api.store_u32(
+            base + pointer_offset(QueueKind.TX, 0, "producer"), 1)
+        return "intruder survives"
+
+    result = m2.run_until(m2.spawn(0, intruder, pid=9), limit=1e8)
+    assert result == "intruder survives"
+    assert not ctrl.tx_queues[0].enabled  # the attacked queue is dead
+    assert ctrl.tx_queues[0].producer == 0  # the write never landed
+    # firmware was interrupted with the violation
+    m2.run(until=m2.now + 50_000)
+    log = m2.node(0).sp.state.get("protection_log", [])
+    assert any("pid 9" in entry[3] for entry in log)
+
+
+def test_violation_leaves_other_process_running(m2):
+    _own(m2, 0, 0, 0, pid=7)
+    _own(m2, 0, 1, 1, pid=9)
+    base = NIU_CTL_BASE + PTR_WINDOW_OFF
+    victim_port = BasicPort(m2.node(0), 1, 1)
+    rx_port = BasicPort(m2.node(1), 1, 1)
+
+    def attacker(api):
+        yield from api.store_u32(
+            base + pointer_offset(QueueKind.TX, 0, "producer"), 1)
+
+    def victim(api):
+        yield from victim_port.send(api, vdst_for(1, 1), b"still-alive")
+
+    def receiver(api):
+        return (yield from rx_port.recv(api))
+
+    m2.spawn(0, attacker, pid=9)
+    m2.spawn(0, victim, pid=9)
+    _src, payload = m2.run_until(m2.spawn(1, receiver), limit=1e9)
+    assert payload == b"still-alive"
+    ctrl = m2.node(0).ctrl
+    assert not ctrl.tx_queues[0].enabled
+    assert ctrl.tx_queues[1].enabled
+
+
+def test_rx_consumer_also_protected(m2):
+    _own(m2, 0, 0, 2, pid=7)
+    ctrl = m2.node(0).ctrl
+    q = m2.node(0).niu.ap_rx_slot(2)
+    base = NIU_CTL_BASE + PTR_WINDOW_OFF
+
+    def intruder(api):
+        yield from api.store_u32(
+            base + pointer_offset(QueueKind.RX, q.index, "consumer"), 1)
+
+    m2.run_until(m2.spawn(0, intruder, pid=3), limit=1e8)
+    assert not q.enabled
+
+
+def test_os_can_rearm_queue(m2):
+    """After a violation the OS (trusted path) re-enables the queue."""
+    _own(m2, 0, 0, 0, pid=7)
+    ctrl = m2.node(0).ctrl
+    base = NIU_CTL_BASE + PTR_WINDOW_OFF
+
+    def intruder(api):
+        yield from api.store_u32(
+            base + pointer_offset(QueueKind.TX, 0, "producer"), 1)
+
+    m2.run_until(m2.spawn(0, intruder, pid=9), limit=1e8)
+    assert not ctrl.tx_queues[0].enabled
+    # OS response: re-arm (model-level trusted operation)
+    ctrl.tx_queues[0].enabled = True
+    port0 = BasicPort(m2.node(0), 0, 0)
+    port1 = BasicPort(m2.node(1), 0, 0)
+
+    def sender(api):
+        yield from port0.send(api, vdst_for(1, 0), b"rearmed")
+
+    def receiver(api):
+        return (yield from port1.recv(api))
+
+    m2.spawn(0, sender, pid=7)
+    _src, payload = m2.run_until(m2.spawn(1, receiver), limit=1e9)
+    assert payload == b"rearmed"
+
+
+def test_express_queue_ownership(m2):
+    """Express sends are protected too: the wrong pid's store completes
+    (stores are posted) but the message never launches and the queue
+    shuts down."""
+    from repro.mp.express import ExpressPort
+    from repro.niu.niu import EXPRESS_RX_LOGICAL, EXPRESS_TX_IDX
+
+    ctrl = m2.node(0).ctrl
+    ctrl.tx_queues[EXPRESS_TX_IDX].owner_pid = 7
+    e0 = ExpressPort(m2.node(0))
+    e1 = ExpressPort(m2.node(1))
+
+    def intruder(api):
+        yield from e0.send(api, vdst_for(1, EXPRESS_RX_LOGICAL), b"STEAL")
+        return "done"
+
+    assert m2.run_until(m2.spawn(0, intruder, pid=9), limit=1e8) == "done"
+    m2.run(until=m2.now + 200_000)
+    assert not ctrl.tx_queues[EXPRESS_TX_IDX].enabled
+    # nothing arrived at node 1
+    def check(api):
+        return (yield from e1.recv(api))
+
+    assert m2.run_until(m2.spawn(1, check), limit=1e8) is None
+
+
+def test_express_owner_still_works(m2):
+    from repro.mp.express import ExpressPort
+    from repro.niu.niu import EXPRESS_RX_LOGICAL, EXPRESS_TX_IDX
+
+    m2.node(0).ctrl.tx_queues[EXPRESS_TX_IDX].owner_pid = 7
+    e0 = ExpressPort(m2.node(0))
+    e1 = ExpressPort(m2.node(1))
+
+    def owner(api):
+        yield from e0.send(api, vdst_for(1, EXPRESS_RX_LOGICAL), b"MINE!")
+
+    def receiver(api):
+        return (yield from e1.recv_blocking(api))
+
+    m2.spawn(0, owner, pid=7)
+    src, payload = m2.run_until(m2.spawn(1, receiver), limit=1e9)
+    assert payload == b"MINE!"

@@ -1,0 +1,71 @@
+"""Packets: sizing, routing digits, priorities."""
+
+import pytest
+
+from repro.common.errors import NetworkError
+from repro.net.packet import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    Packet,
+    PacketKind,
+    check_packet_size,
+)
+from repro.niu.commands import CmdNotify, CmdWriteDram
+
+
+def _pkt(payload=b"", **kw):
+    defaults = dict(kind=PacketKind.DATA, src=0, dst=1, dst_queue=3,
+                    payload=payload)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+def test_wire_bytes_data():
+    assert _pkt(b"x" * 40).wire_bytes == 48  # 8 header + 40
+
+
+def test_wire_bytes_command():
+    cmd = CmdWriteDram(0x1000, b"d" * 80)
+    p = _pkt(kind=PacketKind.COMMAND, command=cmd)
+    assert p.wire_bytes == 8 + 8 + 80  # header + command word + data
+    assert p.wire_bytes == 96  # exactly the Arctic maximum
+
+
+def test_notify_command_wire_bytes():
+    cmd = CmdNotify(7, b"abcd")
+    p = _pkt(kind=PacketKind.COMMAND, command=cmd)
+    assert p.wire_bytes == 8 + 8 + 4
+
+
+def test_size_check():
+    check_packet_size(_pkt(b"x" * 88), 96)  # exactly full: fine
+    with pytest.raises(NetworkError):
+        check_packet_size(_pkt(b"x" * 89), 96)
+
+
+def test_route_consumption():
+    p = _pkt(route=[2, 3, 0])
+    assert p.next_port() == 2
+    assert p.next_port() == 3
+    assert not p.at_last_hop
+    assert p.next_port() == 0
+    assert p.at_last_hop
+    with pytest.raises(NetworkError):
+        p.next_port()
+
+
+def test_priority_validation():
+    _pkt(priority=PRIORITY_HIGH)
+    _pkt(priority=PRIORITY_LOW)
+    with pytest.raises(NetworkError):
+        _pkt(priority=7)
+
+
+def test_endpoint_validation():
+    with pytest.raises(NetworkError):
+        Packet(PacketKind.DATA, -1, 0, 0, b"")
+
+
+def test_sequence_numbers_unique():
+    a, b = _pkt(), _pkt()
+    assert b.seq == a.seq + 1

@@ -1,0 +1,73 @@
+"""The ASCII figure renderer and the report CLI."""
+
+import pytest
+
+from repro.bench.plots import _fmt_size, figure3, figure4, render_figure
+from repro.core.blocktransfer import TransferResult
+
+
+def test_render_empty():
+    out = render_figure("t", {})
+    assert "no data" in out
+
+
+def test_render_basic_structure():
+    out = render_figure("My Chart", {"A": [(1, 1.0), (10, 2.0)],
+                                     "B": [(1, 2.0), (10, 4.0)]},
+                        width=40, height=8, y_label="things")
+    lines = out.splitlines()
+    assert "My Chart" in lines[0]
+    assert "1=A" in lines[0] and "2=B" in lines[0]
+    assert any("1" in line for line in lines[1:])
+    assert any("2" in line for line in lines[1:])
+    assert "y: things" in out
+
+
+def test_render_collision_marker():
+    out = render_figure("t", {"A": [(1, 1.0)], "B": [(1, 1.0)]},
+                        width=20, height=5)
+    assert "*" in out  # both series share the cell
+
+
+def test_size_ticks():
+    assert _fmt_size(256) == "256"
+    assert _fmt_size(1024) == "1K"
+    assert _fmt_size(65536) == "64K"
+    assert _fmt_size(1 << 20) == "1M"
+
+
+def _fake_result(approach, size, lat_us, bw):
+    return TransferResult(
+        approach=approach, size=size,
+        notify_latency_ns=lat_us * 1000.0,
+        data_ready_latency_ns=lat_us * 1000.0,
+    )
+
+
+def test_figure3_groups_series():
+    results = [_fake_result(a, s, 10.0 * a, 0)
+               for a in (1, 2) for s in (256, 1024)]
+    out = figure3(results)
+    assert "1=A1" in out and "2=A2" in out
+    assert "latency" in out
+
+
+def test_figure4_uses_bandwidth():
+    results = [_fake_result(1, 1024, 10.0, 0), _fake_result(1, 4096, 20.0, 0)]
+    out = figure4(results)
+    assert "MB/s" in out
+
+
+def test_report_cli_mechanisms(capsys):
+    from repro.bench.report import main
+    assert main(["--only", "mechanisms"]) == 0
+    out = capsys.readouterr().out
+    assert "Mechanism microbenchmarks" in out
+    assert "express" in out
+
+
+def test_report_cli_shm(capsys):
+    from repro.bench.report import main
+    assert main(["--only", "shm"]) == 0
+    out = capsys.readouterr().out
+    assert "S-COMA" in out and "NUMA" in out

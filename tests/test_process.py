@@ -1,0 +1,99 @@
+"""Processes: fork/join, return values, interrupts, misuse."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.process import Interrupt
+
+
+def test_return_value_via_join(engine):
+    def child():
+        yield engine.timeout(5.0)
+        return "result"
+
+    def parent():
+        value = yield engine.process(child())
+        return value
+
+    p = engine.process(parent())
+    assert engine.run_until_triggered(p) == "result"
+
+
+def test_fork_join_many(engine):
+    def child(n):
+        yield engine.timeout(float(n))
+        return n * n
+
+    def parent():
+        children = [engine.process(child(n)) for n in (3, 1, 2)]
+        values = yield engine.all_of(children)
+        return values
+
+    p = engine.process(parent())
+    assert engine.run_until_triggered(p) == [9, 1, 4]
+
+
+def test_is_alive(engine):
+    def body():
+        yield engine.timeout(10.0)
+
+    p = engine.process(body())
+    assert p.is_alive
+    engine.run()
+    assert not p.is_alive
+
+
+def test_interrupt_raises_inside(engine):
+    caught = []
+
+    def body():
+        try:
+            yield engine.timeout(1000.0)
+        except Interrupt as exc:
+            caught.append(exc.cause)
+
+    p = engine.process(body())
+    engine.run(until=10.0)
+    p.interrupt("stop now")
+    engine.run()
+    assert caught == ["stop now"]
+
+
+def test_interrupt_finished_process_rejected(engine):
+    def body():
+        yield engine.timeout(1.0)
+
+    p = engine.process(body())
+    engine.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_non_generator_rejected(engine):
+    with pytest.raises(SimulationError, match="generator"):
+        engine.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_bad_yield_fails_process(engine):
+    def body():
+        yield 42  # not an Event
+
+    engine.process(body())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_child_failure_propagates_to_parent(engine):
+    def child():
+        yield engine.timeout(1.0)
+        raise ValueError("inner")
+
+    def parent():
+        try:
+            yield engine.process(child())
+        except ValueError:
+            return "handled"
+        return "not handled"
+
+    p = engine.process(parent())
+    assert engine.run_until_triggered(p) == "handled"

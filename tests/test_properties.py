@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common import units
+from repro.mem.backing import ByteBacking
+from repro.net.topology import FatTreeTopology
+from repro.niu.msgformat import (
+    FLAG_RAW,
+    FLAG_TAGON,
+    TAGON_LARGE_UNITS,
+    TAGON_SMALL_UNITS,
+    MsgHeader,
+    decode_header,
+    encode_header,
+)
+from repro.niu.queues import BANK_A, QueueKind, QueueState
+from repro.niu.translation import TranslationEntry, decode_entry, encode_entry
+
+# -- fat tree routing ---------------------------------------------------------
+
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    src=st.integers(min_value=0, max_value=63),
+    dst=st.integers(min_value=0, max_value=63),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_fat_tree_routes_always_valid(n, src, dst, seed):
+    src %= n
+    dst %= n
+    if src == dst:
+        return
+    topo = FatTreeTopology(n, radix=4, seed=seed)
+    route = topo.route(src, dst)
+    assert topo.validate_route(src, dst, route)
+    # route length is odd up-down symmetric: 2m+1 switches for turn at m+1
+    assert 1 <= len(route) <= 2 * topo.levels - 1
+
+
+@given(
+    n=st.integers(min_value=2, max_value=32),
+    src=st.integers(min_value=0, max_value=31),
+    dst=st.integers(min_value=0, max_value=31),
+)
+def test_fat_tree_routes_minimal_height(n, src, dst):
+    """The route never climbs higher than the first common subtree."""
+    src %= n
+    dst %= n
+    if src == dst:
+        return
+    topo = FatTreeTopology(n, radix=4, seed=0)
+    d = topo.down_degree
+    route = topo.route(src, dst)
+    ups = sum(1 for p in route if p >= d)
+    # ups = m where level m+1 is the lowest common subtree
+    s, t = src, dst
+    m = 0
+    for level in range(topo.levels):
+        if s // (d ** (level + 1)) == t // (d ** (level + 1)):
+            m = level
+            break
+    assert ups == m
+
+
+# -- queue pointer arithmetic ----------------------------------------------------
+
+@given(
+    depth_log=st.integers(min_value=1, max_value=6),
+    ops=st.lists(st.integers(min_value=0, max_value=5), max_size=200),
+)
+def test_queue_pointers_never_corrupt(depth_log, ops):
+    """Random interleavings of produce/consume keep 0 <= occupancy <= depth
+    and slot offsets inside the buffer."""
+    depth = 1 << depth_log
+    q = QueueState(QueueKind.TX, 0, BANK_A, base=0, depth=depth)
+    for op in ops:
+        if op % 2 == 0 and q.space > 0:
+            q.advance_producer(q.producer + min(op // 2 + 1, q.space))
+        elif q.occupancy > 0:
+            q.advance_consumer(q.consumer + min(op // 2 + 1, q.occupancy))
+        assert 0 <= q.occupancy <= depth
+        off = q.slot_offset(q.consumer)
+        assert 0 <= off < depth * q.entry_bytes
+
+
+# -- header encode/decode ----------------------------------------------------------
+
+_tagon_units = st.sampled_from([0, TAGON_SMALL_UNITS, TAGON_LARGE_UNITS])
+
+
+@given(
+    vdst=st.integers(min_value=0, max_value=255),
+    dst_queue=st.integers(min_value=0, max_value=255),
+    length=st.integers(min_value=0, max_value=88),
+    src=st.integers(min_value=0, max_value=255),
+    units_=_tagon_units,
+    offset8=st.integers(min_value=0, max_value=0x7FFF),
+    bank=st.integers(min_value=0, max_value=1),
+    raw=st.booleans(),
+)
+def test_header_roundtrip_property(vdst, dst_queue, length, src, units_,
+                                   offset8, bank, raw):
+    flags = (FLAG_RAW if raw else 0) | (FLAG_TAGON if units_ else 0)
+    tagon_bytes = units_ * 16
+    if length + tagon_bytes > 88:
+        length = 88 - tagon_bytes
+    h = MsgHeader(flags=flags, vdst=vdst, dst_queue=dst_queue, length=length,
+                  tagon_offset=offset8 * 8, tagon_bank=bank,
+                  tagon_units=units_, src_node=src)
+    out = decode_header(encode_header(h))
+    assert out.vdst == vdst
+    assert out.length == length
+    assert out.src_node == src
+    assert out.is_raw == raw
+    if units_:
+        assert out.tagon_offset == offset8 * 8
+        assert out.tagon_bank == bank
+        assert out.tagon_bytes == tagon_bytes
+
+
+@given(
+    node=st.integers(min_value=0, max_value=65535),
+    queue=st.integers(min_value=0, max_value=255),
+    priority=st.integers(min_value=0, max_value=1),
+    valid=st.booleans(),
+)
+def test_translation_entry_roundtrip(node, queue, priority, valid):
+    e = TranslationEntry(valid, node, queue, priority)
+    out = decode_entry(encode_entry(e))
+    assert out.valid == valid
+    if valid:
+        assert (out.dst_node, out.dst_queue, out.priority) == \
+            (node, queue, priority)
+
+
+# -- backing stores -----------------------------------------------------------------
+
+@given(
+    size=st.integers(min_value=1, max_value=4096),
+    writes=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=4095), st.binary(max_size=64)),
+        max_size=30,
+    ),
+)
+def test_backing_matches_reference(size, writes):
+    """The backing store behaves exactly like a plain bytearray."""
+    backing = ByteBacking(size)
+    reference = bytearray(size)
+    for offset, data in writes:
+        offset %= size
+        data = data[: size - offset]
+        backing.write(offset, data)
+        reference[offset : offset + len(data)] = data
+    assert backing.read(0, size) == bytes(reference)
+
+
+# -- masks -----------------------------------------------------------------------------
+
+@given(
+    vdst=st.integers(min_value=0, max_value=255),
+    and_mask=st.integers(min_value=0, max_value=255),
+    or_mask=st.integers(min_value=0, max_value=255),
+)
+def test_mask_confinement_property(vdst, and_mask, or_mask):
+    """Whatever the vdst, the translated index carries every OR bit and
+    no bit outside (AND | OR) — the protection guarantee."""
+    q = QueueState(QueueKind.TX, 0, BANK_A, base=0, depth=4)
+    q.and_mask, q.or_mask = and_mask, or_mask
+    idx = q.translate_vdst(vdst)
+    assert idx & or_mask == or_mask
+    assert idx & ~(and_mask | or_mask) == 0
+
+
+# -- alignment helpers ---------------------------------------------------------------------
+
+@given(
+    addr=st.integers(min_value=0, max_value=2**40),
+    align_log=st.integers(min_value=0, max_value=20),
+)
+def test_alignment_properties(addr, align_log):
+    align = 1 << align_log
+    down = units.align_down(addr, align)
+    up = units.align_up(addr, align)
+    assert down <= addr <= up
+    assert down % align == 0 and up % align == 0
+    assert up - down in (0, align)
+    assert units.is_aligned(down, align)

@@ -1,0 +1,169 @@
+"""System-level property tests: whole-machine invariants under random
+workloads (small example counts — each example builds a machine)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.mp.basic import BasicPort
+from repro.mp.dma import DmaNotifier, dma_write
+from repro.niu.niu import vdst_for
+from repro.shm import ScomaRegion
+
+_slow = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@_slow
+@given(
+    size=st.integers(min_value=1, max_value=9000),
+    src_off=st.integers(min_value=0, max_value=63),
+    dst_off=st.integers(min_value=0, max_value=63),
+    mode=st.sampled_from([2, 3]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_dma_byte_exact_any_geometry(size, src_off, dst_off, mode, seed):
+    """DMA delivers byte-exact data for any size/alignment/transport."""
+    import random
+
+    rng = random.Random(seed)
+    data = bytes(rng.randrange(256) for _ in range(size))
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=2))
+    machine.node(0).dram.poke(0x10000 + src_off, data)
+    port = BasicPort(machine.node(0), 1, 1)
+    notifier = DmaNotifier(machine.node(1))
+
+    def req(api):
+        yield from dma_write(api, port, 1, 0x10000 + src_off,
+                             0x20000 + dst_off, size, mode=mode)
+
+    def wait(api):
+        yield from notifier.wait(api)
+
+    machine.spawn(0, req)
+    machine.run_until(machine.spawn(1, wait), limit=1e10)
+    assert machine.node(1).dram.peek(0x20000 + dst_off, size) == data
+
+
+@_slow
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),  # node
+            st.booleans(),  # write?
+            st.integers(min_value=0, max_value=3),  # line
+            st.integers(min_value=0, max_value=255),  # value
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+def test_scoma_sequential_trace_coherent(ops):
+    """A serialized random access trace over shared lines behaves exactly
+    like a single flat memory (per-location sequential consistency)."""
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=2))
+    region = ScomaRegion(machine, n_lines=8)
+    region.init_data(0, bytes(8 * 32))
+    reference = bytearray(8 * 32)
+
+    for node, is_write, line, value in ops:
+        addr = region.addr(line * 32)
+        if is_write:
+            data = bytes([value] * 8)
+
+            def w(api, a=addr, d=data):
+                yield from api.store(a, d)
+
+            machine.run_until(machine.spawn(node, w), limit=1e10)
+            reference[line * 32 : line * 32 + 8] = data
+        else:
+            def r(api, a=addr):
+                return (yield from api.load(a, 8))
+
+            got = machine.run_until(machine.spawn(node, r), limit=1e10)
+            assert got == bytes(reference[line * 32 : line * 32 + 8]), \
+                (node, line, ops)
+
+
+@_slow
+@given(
+    n_msgs=st.integers(min_value=1, max_value=30),
+    payloads=st.data(),
+)
+def test_basic_messages_fifo_no_loss(n_msgs, payloads):
+    """Any stream of Basic messages arrives complete and in order."""
+    bodies = [
+        payloads.draw(st.binary(min_size=0, max_size=88))
+        for _ in range(n_msgs)
+    ]
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=2))
+    p0 = BasicPort(machine.node(0), 0, 0)
+    p1 = BasicPort(machine.node(1), 0, 0)
+
+    def sender(api):
+        for body in bodies:
+            yield from p0.send(api, vdst_for(1, 0), body)
+
+    def receiver(api):
+        out = []
+        for _ in range(n_msgs):
+            _src, body = yield from p1.recv(api)
+            out.append(body)
+        return out
+
+    machine.spawn(0, sender)
+    got = machine.run_until(machine.spawn(1, receiver), limit=1e10)
+    assert got == bodies
+
+
+@_slow
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # writer node
+            st.integers(min_value=0, max_value=15),  # word index
+            st.integers(min_value=1, max_value=255),  # value
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+)
+def test_update_region_matches_reference(writes):
+    """Release-consistent updates converge to a reference model in which
+    each release applies that node's writes to a global array.
+
+    Writers are confined to disjoint words (word % 3 == node) so that
+    the outcome is order-independent — the multiple-writer guarantee.
+    """
+    from repro.mp.basic import BasicPort
+    from repro.shm.update import UpdateRegion
+
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=3))
+    region = UpdateRegion(machine, base=0x50000, size=1024)
+    ports = [BasicPort(machine.node(n), 0, 0) for n in range(3)]
+    reference = bytearray(1024)
+    by_node = {0: [], 1: [], 2: []}
+    for node, word, value in writes:
+        word = word - (word % 3) + node  # confine to the node's words
+        if word > 15:
+            word -= 3
+        offset = word * 8
+        data = bytes([value]) * 8
+        by_node[node].append((offset, data))
+        reference[offset : offset + 8] = data
+
+    def writer(api, node):
+        for offset, data in by_node[node]:
+            yield from api.store(region.addr(offset), data)
+        if by_node[node]:
+            yield from region.release(api, ports[node], notify_queue=0)
+
+    procs = [machine.spawn(n, writer, n) for n in range(3)]
+    machine.run_all(procs, limit=1e10)
+    machine.run(until=machine.now + 500_000)
+    for n in range(3):
+        got = region.peek(n, 0, 128)
+        assert got == bytes(reference[:128]), (n, writes)

@@ -1,0 +1,110 @@
+"""Queue state: pointer arithmetic, wrap, overrun protection, masks."""
+
+import pytest
+
+from repro.common.errors import QueueError
+from repro.niu.queues import BANK_A, FullPolicy, QueueKind, QueueState
+
+
+def _q(depth=8, kind=QueueKind.TX):
+    return QueueState(kind, 0, BANK_A, base=0x100, depth=depth,
+                      entry_bytes=96)
+
+
+def test_initial_state():
+    q = _q()
+    assert q.is_empty and not q.is_full
+    assert q.occupancy == 0 and q.space == 8
+    assert q.enabled
+
+
+def test_producer_advance():
+    q = _q()
+    assert q.advance_producer(3) == 3
+    assert q.occupancy == 3
+
+
+def test_consumer_advance():
+    q = _q()
+    q.advance_producer(5)
+    assert q.advance_consumer(2) == 2
+    assert q.occupancy == 3
+
+
+def test_producer_overrun_rejected():
+    q = _q(depth=4)
+    q.advance_producer(4)
+    assert q.is_full
+    with pytest.raises(QueueError):
+        q.advance_producer(5)
+
+
+def test_consumer_past_producer_rejected():
+    q = _q()
+    q.advance_producer(2)
+    with pytest.raises(QueueError):
+        q.advance_consumer(3)
+
+
+def test_backwards_rejected():
+    q = _q()
+    q.advance_producer(4)
+    q.advance_consumer(2)
+    with pytest.raises(QueueError):
+        q.advance_producer(3)
+    with pytest.raises(QueueError):
+        q.advance_consumer(1)
+
+
+def test_slot_offsets_wrap():
+    q = _q(depth=4)
+    assert q.slot_offset(0) == 0x100
+    assert q.slot_offset(3) == 0x100 + 3 * 96
+    assert q.slot_offset(4) == 0x100  # wraps
+    assert q.slot_offset(7) == q.slot_offset(3)
+
+
+def test_long_run_wraparound():
+    q = _q(depth=4)
+    for n in range(1, 101):
+        q.advance_producer(n)
+        q.advance_consumer(n)
+    assert q.is_empty
+    assert q.producer == q.consumer == 100
+
+
+def test_depth_must_be_power_of_two():
+    with pytest.raises(QueueError):
+        _q(depth=6)
+    with pytest.raises(QueueError):
+        _q(depth=1)
+
+
+def test_base_alignment():
+    with pytest.raises(QueueError):
+        QueueState(QueueKind.TX, 0, BANK_A, base=0x101, depth=8)
+
+
+def test_translate_vdst_masks():
+    q = _q()
+    q.and_mask = 0x0F
+    q.or_mask = 0x30
+    # confined to table slots 0x30..0x3F whatever the vdst says
+    assert q.translate_vdst(0xFF) == 0x3F
+    assert q.translate_vdst(0x02) == 0x32
+    assert q.translate_vdst(0xF5) == 0x35
+
+
+def test_default_masks_identity():
+    q = _q()
+    assert q.translate_vdst(0xAB) == 0xAB
+
+
+def test_shutdown():
+    q = _q()
+    q.shutdown()
+    assert not q.enabled
+
+
+def test_full_policies_exist():
+    assert {p.value for p in FullPolicy} == {"drop", "block", "divert"}

@@ -1,0 +1,120 @@
+"""S-COMA capacity management: voluntary frame eviction."""
+
+import pytest
+
+import repro
+from repro.mp.basic import BasicPort
+from repro.niu.clssram import CLS_INVALID, CLS_RO, CLS_RW
+from repro.shm import ScomaRegion
+
+
+@pytest.fixture
+def rig():
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=2))
+    region = ScomaRegion(machine, n_lines=32)
+    region.init_data(0, bytes(range(32)) * 4)
+    ports = [BasicPort(machine.node(n), 0, 0) for n in range(2)]
+    return machine, region, ports
+
+
+def _settle(machine):
+    machine.run(until=machine.now + 300_000)
+
+
+def test_clean_eviction_leaves_sharer_set(rig):
+    machine, region, ports = rig
+
+    def reader(api):
+        yield from api.load(region.addr(0), 8)  # become a sharer
+        yield from region.evict(api, ports[1], 0)
+
+    machine.run_until(machine.spawn(1, reader), limit=1e9)
+    _settle(machine)
+    assert region.cls_state(1, 0) == CLS_INVALID
+    # home no longer tracks node 1: a later home write needs no INV
+    home_dir = machine.node(0).sp.state["scoma"].entry(0)
+    assert 1 not in home_dir.sharers
+
+
+def test_reread_after_clean_eviction_refetches(rig):
+    machine, region, ports = rig
+
+    def prog(api):
+        first = yield from api.load(region.addr(0), 8)
+        yield from region.evict(api, ports[1], 0)
+        yield from api.sleep(50_000)  # let the eviction complete
+        second = yield from api.load(region.addr(0), 8)  # miss again
+        return first, second
+
+    first, second = machine.run_until(machine.spawn(1, prog), limit=1e10)
+    assert first == second == bytes(range(8))
+    assert region.cls_state(1, 0) == CLS_RO
+
+
+def test_dirty_eviction_writes_back_home(rig):
+    machine, region, ports = rig
+
+    def writer(api):
+        yield from api.store(region.addr(0), b"DIRTYEVC")
+        yield from region.evict(api, ports[1], 0)
+
+    machine.run_until(machine.spawn(1, writer), limit=1e10)
+    _settle(machine)
+    assert region.cls_state(1, 0) == CLS_INVALID
+    assert region.cls_state(0, 0) == CLS_RW  # home owns its frame again
+    assert region.frame_peek(0, 0, 8) == b"DIRTYEVC"
+    home_dir = machine.node(0).sp.state["scoma"].entry(0)
+    assert home_dir.owner is None
+
+    # any node reading now sees the evicted data
+    def reader(api):
+        return (yield from api.load(region.addr(0), 8))
+
+    assert machine.run_until(machine.spawn(1, reader), limit=1e10) == \
+        b"DIRTYEVC"
+
+
+def test_evict_home_line_is_noop(rig):
+    machine, region, ports = rig
+
+    def prog(api):  # node 0 is home for line 0
+        yield from region.evict(api, ports[0], 0)
+        return (yield from api.load(region.addr(0), 8))
+
+    assert machine.run_until(machine.spawn(0, prog), limit=1e9) == \
+        bytes(range(8))
+    assert region.cls_state(0, 0) == CLS_RW
+
+
+def test_evict_uncached_line_is_noop(rig):
+    machine, region, ports = rig
+
+    def prog(api):  # node 1 never touched the line
+        yield from region.evict(api, ports[1], 0)
+        return True
+
+    assert machine.run_until(machine.spawn(1, prog), limit=1e9)
+    _settle(machine)
+    assert region.cls_state(1, 0) == CLS_INVALID
+
+
+def test_eviction_under_write_storm_stays_coherent(rig):
+    """Evictions interleaved with remote writes: every read still sees
+    the latest write (the recall/eviction race resolves cleanly)."""
+    machine, region, ports = rig
+
+    def cycle(api, value):
+        yield from api.store(region.addr(0), bytes([value]) * 8)
+        yield from region.evict(api, ports[1], 0)
+        yield from api.sleep(30_000)
+
+    for v in (1, 2, 3):
+        machine.run_until(machine.spawn(1, cycle, v), limit=1e10)
+    _settle(machine)
+
+    def reader(api):
+        return (yield from api.load(region.addr(0), 8))
+
+    for node in (0, 1):
+        assert machine.run_until(machine.spawn(node, reader),
+                                 limit=1e10) == bytes([3]) * 8

@@ -1,0 +1,173 @@
+"""The service processor kernel and the firmware base library."""
+
+import pytest
+
+import repro
+from repro.common.errors import FirmwareError
+from repro.firmware.base import (
+    fw_dram_read,
+    fw_dram_write,
+    fw_recv_all,
+    fw_send,
+    fw_wait,
+    register_msg_handler,
+)
+from repro.firmware.msg import declare_dram_queue
+from repro.mp.basic import BasicPort
+from repro.mp.dramq import DramQueueReader
+from repro.niu.niu import SP_SERVICE_QUEUE, vdst_for
+
+
+@pytest.fixture
+def m2():
+    return repro.StarTVoyager(repro.default_config(n_nodes=2))
+
+
+def test_kernel_dispatches_events(m2):
+    sp = m2.node(0).sp
+    seen = []
+
+    def handler(sp_, event):
+        seen.append(event)
+        yield sp_.compute(10)
+
+    sp.register("custom", handler)
+    sp.sbiu.post_event(("custom", 1, 2))
+    m2.run(until=m2.now + 10_000)
+    assert seen == [("custom", 1, 2)]
+    assert sp.dispatched >= 1
+
+
+def test_unhandled_event_counted(m2):
+    sp = m2.node(0).sp
+    sp.sbiu.post_event(("nobody-home",))
+    m2.run(until=m2.now + 10_000)
+    assert sp.unhandled >= 1
+
+
+def test_handler_for_missing_raises(m2):
+    with pytest.raises(FirmwareError):
+        m2.node(0).sp.handler_for("missing")
+
+
+def test_compute_cost(m2):
+    sp = m2.node(0).sp
+    t0 = m2.now
+    done = []
+
+    def handler(sp_, event):
+        yield sp_.compute(166)  # 1000 ns at 166 MHz
+        done.append(m2.now)
+
+    sp.register("timed", handler)
+    sp.sbiu.post_event(("timed",))
+    m2.run(until=m2.now + 100_000)
+    dispatch_ns = sp.proc.insn_ns(sp.fw.dispatch_insns)
+    assert done[0] - t0 == pytest.approx(1000.0 + dispatch_ns, abs=1.0)
+
+
+def test_occupancy_counts_handler_time(m2):
+    sp = m2.node(0).sp
+
+    def handler(sp_, event):
+        yield sp_.compute(1000)
+
+    sp.register("busywork", handler)
+    sp.sbiu.post_event(("busywork",))
+    m2.run(until=m2.now + 100_000)
+    assert sp.busy.busy_ns > sp.proc.insn_ns(1000) * 0.9
+
+
+def test_fw_wait_excludes_occupancy(m2):
+    sp = m2.node(0).sp
+    results = {}
+
+    def handler(sp_, event):
+        busy_before = sp_.busy.current()
+        ev = m2.engine.timeout(50_000.0)
+        yield from fw_wait(sp_, ev)
+        results["accrued"] = None  # marker
+
+    sp.register("waits", handler)
+    sp.sbiu.post_event(("waits",))
+    m2.run(until=m2.now + 200_000)
+    assert "accrued" in results
+    # busy time must be far below the 50us wait
+    assert sp.busy.busy_ns < 10_000
+
+
+def test_fw_send_and_recv_all(m2):
+    """Firmware on node 0 sends to node 1's service queue; node 1
+    firmware receives it through fw_recv_all (exercised via a custom
+    protocol type)."""
+    got = []
+
+    def on_msg(sp, src, payload):
+        got.append((src, payload))
+        yield sp.compute(1)
+
+    register_msg_handler(m2.node(1).sp, 0x70, on_msg)
+    sp0 = m2.node(0).sp
+
+    def trigger(sp_, event):
+        yield from fw_send(sp_, vdst_for(1, SP_SERVICE_QUEUE),
+                           bytes([0x70]) + b"firmware-to-firmware")
+
+    sp0.register("go", trigger)
+    sp0.sbiu.post_event(("go",))
+    m2.run(until=m2.now + 200_000)
+    assert got == [(0, bytes([0x70]) + b"firmware-to-firmware")]
+
+
+def test_fw_dram_roundtrip(m2):
+    sp = m2.node(0).sp
+    staging = m2.node(0).niu.alloc_ssram(64)
+    out = {}
+
+    def handler(sp_, event):
+        yield from fw_dram_write(sp_, 0x7700, b"fw-dram-data")
+        out["data"] = yield from fw_dram_read(sp_, 0x7700, 12, staging)
+
+    sp.register("drw", handler)
+    sp.sbiu.post_event(("drw",))
+    m2.run(until=m2.now + 200_000)
+    assert out["data"] == b"fw-dram-data"
+    assert m2.node(0).dram.peek(0x7700, 12) == b"fw-dram-data"
+
+
+def test_missq_to_dram_ring(m2):
+    """Messages for a non-resident logical queue land in the declared
+    DRAM ring and are readable by the aP."""
+    node1 = m2.node(1)
+    ring = declare_dram_queue(node1.sp, logical=12, base=0x30000, depth=8)
+    reader = DramQueueReader(ring)
+    port0 = BasicPort(m2.node(0), 0, 0)
+    # logical 12 has no hardware slot on node 1: install a translation so
+    # the sender can name it (machine installed 0..15 already)
+
+    def sender(api):
+        yield from port0.send(api, vdst_for(1, 12), b"to-dram-ring-1")
+        yield from port0.send(api, vdst_for(1, 12), b"to-dram-ring-2")
+
+    def receiver(api):
+        a = yield from reader.recv(api)
+        b = yield from reader.recv(api)
+        return a, b
+
+    m2.spawn(0, sender)
+    (s1, p1), (s2, p2) = m2.run_until(m2.spawn(1, receiver), limit=1e9)
+    assert (s1, p1) == (0, b"to-dram-ring-1")
+    assert (s2, p2) == (0, b"to-dram-ring-2")
+    assert node1.ctrl.rx_cache.misses >= 2
+
+
+def test_missq_without_ring_drops_and_logs(m2):
+    port0 = BasicPort(m2.node(0), 0, 0)
+
+    def sender(api):
+        yield from port0.send(api, vdst_for(1, 13), b"lost")
+
+    m2.run_until(m2.spawn(0, sender), limit=1e8)
+    m2.run(until=m2.now + 100_000)
+    dropped = m2.node(1).sp.state.get("missq_dropped", [])
+    assert any(entry[1] == 13 for entry in dropped)

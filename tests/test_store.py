@@ -1,0 +1,130 @@
+"""Stores: blocking FIFO semantics, capacity backpressure, statistics."""
+
+import pytest
+
+from repro.common.errors import QueueEmptyError, QueueFullError, SimulationError
+from repro.sim.store import Store
+
+
+def test_put_get_fifo(engine):
+    s = Store(engine)
+    for i in range(5):
+        s.try_put(i)
+    got = [s.try_get() for _ in range(5)]
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_get_blocks_until_put(engine):
+    s = Store(engine)
+    result = []
+
+    def consumer():
+        item = yield s.get()
+        result.append((item, engine.now))
+
+    def producer():
+        yield engine.timeout(50.0)
+        yield s.put("late")
+
+    engine.process(consumer())
+    engine.process(producer())
+    engine.run()
+    assert result == [("late", 50.0)]
+
+
+def test_put_blocks_when_full(engine):
+    s = Store(engine, capacity=2)
+    s.try_put(1)
+    s.try_put(2)
+    done = []
+
+    def producer():
+        yield s.put(3)
+        done.append(engine.now)
+
+    def consumer():
+        yield engine.timeout(30.0)
+        s.try_get()
+
+    engine.process(producer())
+    engine.process(consumer())
+    engine.run()
+    assert done == [30.0]
+    assert s.snapshot() == [2, 3]
+
+
+def test_try_put_full_raises(engine):
+    s = Store(engine, capacity=1)
+    s.try_put("x")
+    with pytest.raises(QueueFullError):
+        s.try_put("y")
+
+
+def test_try_get_empty_raises(engine):
+    s = Store(engine)
+    with pytest.raises(QueueEmptyError):
+        s.try_get()
+
+
+def test_peek(engine):
+    s = Store(engine)
+    s.try_put("first")
+    s.try_put("second")
+    assert s.peek() == "first"
+    assert len(s) == 2
+
+
+def test_peek_empty_raises(engine):
+    with pytest.raises(QueueEmptyError):
+        Store(engine).peek()
+
+
+def test_waiting_getters_served_fifo(engine):
+    s = Store(engine)
+    got = []
+
+    def consumer(name):
+        item = yield s.get()
+        got.append((name, item))
+
+    for name in ("a", "b"):
+        engine.process(consumer(name))
+
+    def producer():
+        yield engine.timeout(10.0)
+        yield s.put(1)
+        yield s.put(2)
+
+    engine.process(producer())
+    engine.run()
+    assert got == [("a", 1), ("b", 2)]
+
+
+def test_statistics(engine):
+    s = Store(engine, capacity=8)
+    for i in range(5):
+        s.try_put(i)
+    for _ in range(3):
+        s.try_get()
+    assert s.total_put == 5
+    assert s.total_got == 3
+    assert s.peak_depth == 5
+
+
+def test_flags(engine):
+    s = Store(engine, capacity=1)
+    assert s.is_empty and not s.is_full
+    s.try_put(0)
+    assert s.is_full and not s.is_empty
+
+
+def test_capacity_validation(engine):
+    with pytest.raises(SimulationError):
+        Store(engine, capacity=0)
+
+
+def test_unbounded_never_full(engine):
+    s = Store(engine)
+    for i in range(1000):
+        s.try_put(i)
+    assert not s.is_full

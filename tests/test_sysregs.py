@@ -1,0 +1,63 @@
+"""System registers: definition, protection split, write hooks."""
+
+import pytest
+
+from repro.common.errors import ProtectionViolation, QueueError
+from repro.niu.sysregs import SystemRegisters
+
+
+def test_define_read_write():
+    r = SystemRegisters()
+    r.define("tx_priority.0", 3)
+    assert r.read("tx_priority.0") == 3
+    r.write("tx_priority.0", 1)
+    assert r.read("tx_priority.0") == 1
+
+
+def test_redefine_rejected():
+    r = SystemRegisters()
+    r.define("x")
+    with pytest.raises(QueueError):
+        r.define("x")
+
+
+def test_unknown_register():
+    r = SystemRegisters()
+    with pytest.raises(QueueError):
+        r.read("nope")
+    with pytest.raises(QueueError):
+        r.write("nope", 1)
+    with pytest.raises(QueueError):
+        r.on_write("nope", lambda n, v: None)
+
+
+def test_untrusted_write_blocked():
+    r = SystemRegisters()
+    r.define("secret", user_writable=False)
+    with pytest.raises(ProtectionViolation):
+        r.write("secret", 1, trusted=False)
+    r.write("secret", 1, trusted=True)  # trusted path fine
+
+
+def test_user_writable():
+    r = SystemRegisters()
+    r.define("knob", user_writable=True)
+    r.write("knob", 9, trusted=False)
+    assert r.read("knob") == 9
+
+
+def test_write_hooks_fire():
+    r = SystemRegisters()
+    r.define("p")
+    seen = []
+    r.on_write("p", lambda name, value: seen.append((name, value)))
+    r.on_write("p", lambda name, value: seen.append("second"))
+    r.write("p", 5)
+    assert seen == [("p", 5), "second"]
+
+
+def test_names_sorted():
+    r = SystemRegisters()
+    r.define("b")
+    r.define("a")
+    assert r.names() == ["a", "b"]

@@ -1,0 +1,109 @@
+"""Destination translation and receive-queue caching."""
+
+import pytest
+
+from repro.common.errors import TranslationError
+from repro.mem.sram import DualPortedSRAM
+from repro.niu.translation import (
+    RxQueueCache,
+    TranslationEntry,
+    TranslationTable,
+    decode_entry,
+    encode_entry,
+)
+
+
+def test_entry_roundtrip():
+    e = TranslationEntry(True, dst_node=300, dst_queue=7, priority=1)
+    out = decode_entry(encode_entry(e))
+    assert (out.valid, out.dst_node, out.dst_queue, out.priority) == \
+        (True, 300, 7, 1)
+
+
+def test_invalid_entry_roundtrip():
+    out = decode_entry(encode_entry(TranslationEntry(False, 0, 0, 0)))
+    assert not out.valid
+
+
+def test_decode_wrong_size():
+    with pytest.raises(TranslationError):
+        decode_entry(b"123")
+
+
+@pytest.fixture
+def table(engine):
+    ssram = DualPortedSRAM(engine, 4096, access_ns=1.0)
+    return TranslationTable(ssram, base=0, entries=16)
+
+
+def test_install_lookup(table):
+    table.install(5, TranslationEntry(True, 2, 3, 0))
+    e = table.lookup(5)
+    assert (e.dst_node, e.dst_queue) == (2, 3)
+
+
+def test_lookup_invalid_raises(table):
+    with pytest.raises(TranslationError):
+        table.lookup(7)  # never installed
+
+
+def test_invalidate(table):
+    table.install(4, TranslationEntry(True, 1, 1, 0))
+    table.invalidate(4)
+    with pytest.raises(TranslationError):
+        table.lookup(4)
+
+
+def test_index_bounds(table):
+    with pytest.raises(TranslationError):
+        table.install(16, TranslationEntry(True, 0, 0, 0))
+    with pytest.raises(TranslationError):
+        table.lookup(-1)
+
+
+# -- rx queue cache ------------------------------------------------------------
+
+def test_cache_bind_lookup():
+    c = RxQueueCache(n_hw=4, n_logical=64)
+    c.bind(10, 2)
+    assert c.lookup(10) == 2
+    assert c.hits == 1
+
+
+def test_cache_miss_counts():
+    c = RxQueueCache(4, 64)
+    assert c.lookup(33) is None
+    assert c.misses == 1
+
+
+def test_rebind_slot_evicts_old():
+    c = RxQueueCache(4, 64)
+    c.bind(10, 2)
+    c.bind(11, 2)  # same slot: 10 evicted
+    assert c.lookup(10) is None
+    assert c.lookup(11) == 2
+
+
+def test_rebind_logical_moves():
+    c = RxQueueCache(4, 64)
+    c.bind(10, 1)
+    c.bind(10, 3)
+    assert c.lookup(10) == 3
+    assert c.resident() == {10: 3}
+
+
+def test_unbind():
+    c = RxQueueCache(4, 64)
+    c.bind(10, 0)
+    c.unbind(10)
+    assert c.lookup(10) is None
+
+
+def test_bounds():
+    c = RxQueueCache(4, 64)
+    with pytest.raises(TranslationError):
+        c.bind(64, 0)
+    with pytest.raises(TranslationError):
+        c.bind(0, 4)
+    with pytest.raises(TranslationError):
+        RxQueueCache(8, 4)

@@ -1,0 +1,75 @@
+"""Unit conversion and alignment helpers."""
+
+import pytest
+
+from repro.common import units
+
+
+def test_mhz_to_ns_166():
+    assert units.mhz_to_ns(166.0) == pytest.approx(6.0241, rel=1e-3)
+
+
+def test_mhz_to_ns_66():
+    assert units.mhz_to_ns(66.0) == pytest.approx(15.1515, rel=1e-3)
+
+
+def test_mhz_to_ns_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.mhz_to_ns(0)
+    with pytest.raises(ValueError):
+        units.mhz_to_ns(-5)
+
+
+def test_arctic_link_serialization():
+    # the paper's 160 MB/s/direction link is 6.25 ns per byte
+    assert units.mbps_to_ns_per_byte(160.0) == pytest.approx(6.25)
+
+
+def test_bandwidth_roundtrip():
+    rate_bytes_per_ns = 1.0 / units.mbps_to_ns_per_byte(160.0)
+    assert units.bytes_per_ns_to_mbps(rate_bytes_per_ns) == pytest.approx(160.0)
+
+
+def test_mbps_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.mbps_to_ns_per_byte(0)
+
+
+def test_time_constants():
+    assert units.US == 1_000
+    assert units.MS == 1_000_000
+    assert units.S == 1_000_000_000
+    assert units.ns_to_us(2_500.0) == pytest.approx(2.5)
+
+
+def test_align_down_up():
+    assert units.align_down(0x107, 0x100) == 0x100
+    assert units.align_up(0x101, 0x100) == 0x200
+    assert units.align_up(0x100, 0x100) == 0x100
+    assert units.align_down(0x100, 0x100) == 0x100
+
+
+def test_alignment_rejects_non_power_of_two():
+    for fn in (units.align_down, units.align_up, units.is_aligned):
+        with pytest.raises(ValueError):
+            fn(0x100, 3)
+        with pytest.raises(ValueError):
+            fn(0x100, 0)
+
+
+def test_is_aligned():
+    assert units.is_aligned(64, 32)
+    assert not units.is_aligned(65, 32)
+
+
+def test_is_power_of_two():
+    assert units.is_power_of_two(1)
+    assert units.is_power_of_two(4096)
+    assert not units.is_power_of_two(0)
+    assert not units.is_power_of_two(96)
+    assert not units.is_power_of_two(-8)
+
+
+def test_sizes():
+    assert units.KB == 1024
+    assert units.MB == 1024 * 1024

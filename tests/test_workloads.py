@@ -1,0 +1,67 @@
+"""The synthetic workload generators (unit level)."""
+
+import pytest
+
+import repro
+from repro.bench.workloads import hotspot, mixed, pipeline, uniform_random
+
+
+def _run(machine, procs, verify):
+    machine.run_all(procs, limit=1e11)
+    machine.run(until=machine.now + 500_000)
+    return verify()
+
+
+def test_uniform_random_verifies():
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=4))
+    procs, verify = uniform_random(machine, messages_per_node=10)
+    assert _run(machine, procs, verify)
+
+
+def test_uniform_random_deterministic_plan():
+    """The same seed produces the same traffic plan (and simulated time)."""
+
+    def run(seed):
+        machine = repro.StarTVoyager(repro.default_config(n_nodes=4))
+        procs, verify = uniform_random(machine, messages_per_node=8,
+                                       seed=seed)
+        assert _run(machine, procs, verify)
+        return machine.now
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)  # different plan, different schedule
+
+
+def test_hotspot_counts_all():
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=4))
+    procs, verify = hotspot(machine, messages_per_node=12)
+    assert _run(machine, procs, verify)
+
+
+def test_hotspot_custom_hot_node():
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=4))
+    procs, verify = hotspot(machine, messages_per_node=5, hot_node=2)
+    assert _run(machine, procs, verify)
+
+
+def test_pipeline_transform_chain():
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=4))
+    procs, verify = pipeline(machine, rounds=6)
+    assert _run(machine, procs, verify)
+
+
+def test_mixed_workload_integrity():
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=2))
+    procs, verify = mixed(machine)
+    assert _run(machine, procs, verify)
+
+
+def test_print_table_formatting(capsys):
+    from repro.bench import print_table
+
+    print_table("My Table", ["a", "long header"], [[1, 2.34567], ["xx", 9]])
+    out = capsys.readouterr().out
+    assert "== My Table ==" in out
+    assert "long header" in out
+    assert "2.35" in out  # floats formatted to 2 places
+    assert "xx" in out
