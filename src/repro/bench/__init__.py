@@ -5,6 +5,8 @@ from repro.bench.harness import (
     basic_oneway_latency,
     basic_stream_rate,
     block_transfer_sweep,
+    collective_latency,
+    emit_json,
     express_oneway_latency,
     fresh_machine,
     mpi_pingpong_latency,
@@ -18,8 +20,10 @@ __all__ = [
     "run_block_transfer",
     "block_transfer_sweep",
     "print_table",
+    "emit_json",
     "basic_oneway_latency",
     "express_oneway_latency",
     "basic_stream_rate",
+    "collective_latency",
     "mpi_pingpong_latency",
 ]

@@ -8,6 +8,8 @@ rows (and return them for programmatic checks).
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Callable, Dict, Generator, List, Optional, Sequence
 
 import repro
@@ -55,6 +57,22 @@ def _fmt(v: object) -> str:
     if isinstance(v, float):
         return f"{v:.2f}"
     return str(v)
+
+
+def emit_json(path: str, payload: object) -> str:
+    """Write one benchmark's results as a JSON document; returns the path.
+
+    The machine-readable twin of :func:`print_table` — plotting scripts
+    consume these instead of scraping stdout.  Parent directories are
+    created as needed.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 # ----------------------------------------------------------------------
@@ -105,6 +123,38 @@ def express_oneway_latency(repeats: int = 20) -> float:
     b = machine.spawn(1, pong)
     machine.run_all([a, b])
     return (machine.now - t0) / (2 * repeats)
+
+
+def collective_latency(name: str, n_nodes: int, algo: str = "flat",
+                       repeats: int = 4, payload_bytes: int = 32,
+                       **mpi_kwargs) -> float:
+    """Mean completion time (ns) of one collective on a fresh machine.
+
+    ``name`` is ``"barrier"``, ``"bcast"`` or ``"allreduce"``; ``algo``
+    selects the :class:`~repro.lib.mpi.MiniMPI` collective family
+    (``"flat"`` / ``"tree"`` / ``"nic"``).  Back-to-back ``repeats``
+    amortize start-up skew.
+    """
+    machine = fresh_machine(n_nodes)
+    mpi = MiniMPI(machine, algo=algo, **mpi_kwargs)
+    payload = bytes(payload_bytes)
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        for _ in range(repeats):
+            if name == "barrier":
+                yield from comm.barrier(api)
+            elif name == "bcast":
+                yield from comm.bcast(api, payload if rank == 0 else None)
+            elif name == "allreduce":
+                yield from comm.allreduce(api, rank + 1, op="sum")
+            else:
+                raise ValueError(f"unknown collective {name!r}")
+
+    t0 = machine.now
+    procs = [machine.spawn(n, worker, n) for n in range(n_nodes)]
+    machine.run_all(procs, limit=1e10)
+    return (machine.now - t0) / repeats
 
 
 def basic_stream_rate(payload_bytes: int = 64, count: int = 200

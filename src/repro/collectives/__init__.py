@@ -1,0 +1,50 @@
+"""NIC-offloaded collective communication (the layer-1 extension story).
+
+StarT-Voyager's thesis is that a programmable NIU lets new communication
+mechanisms be added without touching the aP or the core hardware.  This
+package exercises that claim end to end: collective operations (barrier,
+broadcast, reduce, allreduce, gather) move off the host into sP firmware
+that combines contributions as they arrive and forwards one message per
+tree edge — the aP issues a single enqueue and a single dequeue per
+collective instead of O(N) point-to-point messages.
+
+Three layers, lowest first:
+
+* :mod:`repro.collectives.plan` — pure-data spanning trees (k-ary,
+  binomial) and recursive-doubling schedules; unit-testable without the
+  simulator;
+* :mod:`repro.collectives.wire` — the collective message formats carried
+  over Basic messages to/between service processors;
+* :mod:`repro.collectives.firmware` — the ``CollectiveUnit`` sP firmware
+  (combining state, arrival counters, tree forwarding);
+* :mod:`repro.collectives.api` — host-side tree algorithms over mini-MPI
+  point-to-point (the ``algo="tree"`` middle ground).
+
+:class:`repro.lib.mpi.MiniMPI` selects between them with its ``algo=``
+switch (``"flat"`` / ``"tree"`` / ``"nic"``).
+"""
+
+from repro.collectives.plan import (
+    OPS,
+    RdSchedule,
+    TreePlan,
+    binomial_tree,
+    kary_tree,
+    op_by_code,
+    op_by_name,
+    recursive_doubling,
+)
+from repro.collectives.firmware import setup_collectives, ensure_collectives
+
+__all__ = [
+    "TreePlan",
+    "RdSchedule",
+    "kary_tree",
+    "binomial_tree",
+    "recursive_doubling",
+    "OPS",
+    "op_by_name",
+    "op_by_code",
+    "setup_collectives",
+    "ensure_collectives",
+]

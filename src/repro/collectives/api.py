@@ -1,0 +1,153 @@
+"""Host-side tree collectives over mini-MPI point-to-point.
+
+The ``algo="tree"`` middle ground: same O(log N) communication structure
+as the NIC-offloaded path, but executed by the aPs with ordinary
+point-to-point sends/receives — no firmware involvement beyond normal
+message delivery.  Useful both as a benchmark rung between ``"flat"``
+and ``"nic"`` and as the fallback for operations the combining firmware
+does not accelerate (variable-size ``gather``, arbitrary callable
+reduction operators).
+
+Every function is a generator fragment run on the aP; ``comm`` is a
+:class:`repro.lib.mpi.MpiRank` (or anything offering ``rank``/``size``/
+``_send``/``recv`` — the raw send path, because collective tags live in
+the reserved upper half of the tag space).  Reductions fold
+own-value-first, then children in
+the plan's deterministic order — on a binomial tree this is exactly the
+ascending-(virtual-)rank fold, so non-commutative operators behave like
+MPI's canonical reduction order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, List, Optional
+
+from repro.collectives.plan import RdSchedule, TreePlan
+from repro.common.errors import ProgramError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.node.ap import ApApi
+    from repro.sim.events import Event
+
+
+def _pack(value: int) -> bytes:
+    return value.to_bytes(8, "big", signed=True)
+
+
+def _unpack(data: bytes) -> int:
+    return int.from_bytes(data, "big", signed=True)
+
+
+def tree_barrier(comm, api: "ApApi", plan: TreePlan, tag: int
+                 ) -> Generator["Event", None, None]:
+    """Gather-up then release-down along the tree: O(depth) critical path."""
+    me = comm.rank
+    for child in plan.children[me]:
+        yield from comm.recv(api, src=child, tag=tag)
+    if me != plan.root:
+        yield from comm._send(api, plan.parent[me], b"u", tag)
+        yield from comm.recv(api, src=plan.parent[me], tag=tag)
+    for child in plan.children[me]:
+        yield from comm._send(api, child, b"d", tag)
+
+
+def tree_bcast(comm, api: "ApApi", data: Optional[bytes], plan: TreePlan,
+               tag: int) -> Generator["Event", None, bytes]:
+    """Pipeline ``data`` down the tree from ``plan.root``."""
+    me = comm.rank
+    if me == plan.root:
+        assert data is not None, "root must supply the data"
+    else:
+        _src, _tag, data = yield from comm.recv(api, src=plan.parent[me],
+                                                tag=tag)
+    for child in plan.children[me]:
+        yield from comm._send(api, child, data, tag)
+    return data
+
+
+def tree_reduce(comm, api: "ApApi", value: int,
+                op: Callable[[int, int], int], plan: TreePlan, tag: int
+                ) -> Generator["Event", None, Optional[int]]:
+    """Combine up the tree; the result materializes only at the root.
+
+    Children are awaited in the plan's fold order (not arrival order),
+    so the fold is deterministic and — on a binomial tree — equals the
+    ascending-rank fold even for non-commutative ``op``.
+    """
+    me = comm.rank
+    acc = value
+    for child in plan.children[me]:
+        _src, _tag, data = yield from comm.recv(api, src=child, tag=tag)
+        acc = op(acc, _unpack(data))
+    if me == plan.root:
+        return acc
+    yield from comm._send(api, plan.parent[me], _pack(acc), tag)
+    return None
+
+
+def rd_allreduce(comm, api: "ApApi", value: int,
+                 op: Callable[[int, int], int], sched: RdSchedule, tag: int
+                 ) -> Generator["Event", None, int]:
+    """Recursive-doubling allreduce: O(log N) rounds, every rank busy.
+
+    Non-power-of-two sizes fold the extra ranks in before the exchange
+    rounds and hand them the result afterwards.  The lower-rank operand
+    always goes on the left, so associative non-commutative operators
+    still fold in a deterministic (if not strictly ascending) order.
+    """
+    me = comm.rank
+    if sched.is_extra(me):
+        partner = me - sched.pow2
+        yield from comm._send(api, partner, _pack(value), tag)
+        _src, _tag, data = yield from comm.recv(api, src=partner, tag=tag)
+        return _unpack(data)
+    acc = value
+    extra = sched.extra_partner(me)
+    if extra is not None:
+        _src, _tag, data = yield from comm.recv(api, src=extra, tag=tag)
+        acc = op(acc, _unpack(data))
+    for peer in sched.partners(me):
+        yield from comm._send(api, peer, _pack(acc), tag)
+        _src, _tag, data = yield from comm.recv(api, src=peer, tag=tag)
+        theirs = _unpack(data)
+        acc = op(acc, theirs) if peer > me else op(theirs, acc)
+    if extra is not None:
+        yield from comm._send(api, extra, _pack(acc), tag)
+    return acc
+
+
+def tree_gather(comm, api: "ApApi", data: bytes, plan: TreePlan, tag: int
+                ) -> Generator["Event", None, Optional[List[bytes]]]:
+    """Gather rank-labeled byte strings up the tree to ``plan.root``.
+
+    Each rank forwards one packed blob (its own item plus every child
+    subtree's items) per tree edge; fragmentation in the point-to-point
+    layer handles arbitrary sizes.
+    """
+    me = comm.rank
+    blob = _pack_item(me, data)
+    for child in plan.children[me]:
+        _src, _tag, sub = yield from comm.recv(api, src=child, tag=tag)
+        blob += sub
+    if me != plan.root:
+        yield from comm._send(api, plan.parent[me], blob, tag)
+        return None
+    parts: List[Optional[bytes]] = [None] * comm.size
+    for rank, item in _unpack_items(blob):
+        parts[rank] = item
+    if any(p is None for p in parts):
+        raise ProgramError("gather blob did not cover every rank")
+    return parts  # type: ignore[return-value]
+
+
+def _pack_item(rank: int, data: bytes) -> bytes:
+    return rank.to_bytes(2, "big") + len(data).to_bytes(4, "big") + data
+
+
+def _unpack_items(blob: bytes):
+    off = 0
+    while off < len(blob):
+        rank = int.from_bytes(blob[off : off + 2], "big")
+        length = int.from_bytes(blob[off + 2 : off + 6], "big")
+        yield rank, blob[off + 6 : off + 6 + length]
+        off += 6 + length

@@ -317,6 +317,12 @@ class FirmwareCostConfig:
     cls_update_insns: int = 12
     #: rx miss-queue service: move one message to its DRAM-resident queue.
     missq_service_insns: int = 90
+    #: CollectiveUnit: parse one aP collective request.
+    coll_request_insns: int = 70
+    #: CollectiveUnit: fold one contribution into the accumulator.
+    coll_combine_insns: int = 30
+    #: CollectiveUnit: forward the result one tree hop on the down sweep.
+    coll_forward_insns: int = 45
 
     def validate(self) -> None:
         for f in dataclasses.fields(self):

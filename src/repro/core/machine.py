@@ -83,9 +83,18 @@ class StarTVoyager:
     def _install_translation(self) -> None:
         """Populate every node's translation table with the global
         ``vdst = node*16 + queue`` convention (protocol queues ride the
-        high network priority)."""
+        high network priority).
+
+        Machines beyond 16 nodes exceed the byte-vdst packing, so they
+        run kernel-mode RAW addressing instead: every tx queue is marked
+        ``allow_raw`` and senders put the physical node and destination
+        queue directly in the header (see
+        :func:`repro.niu.niu.needs_raw_addressing`)."""
         if self.config.n_nodes > 16:
-            return  # beyond the byte-vdst convention; tables set manually
+            for node in self.nodes:
+                for q in node.ctrl.tx_queues:
+                    q.allow_raw = True
+            return
         for node in self.nodes:
             for dst in range(self.config.n_nodes):
                 for queue in range(16):

@@ -71,3 +71,9 @@ def install_default_firmware(node, n_nodes: int,
             (line // lines_per_page) % n_nodes for line in range(n_lines)
         ]
     setup_scoma(sp, scoma_home_of)
+    # the CollectiveUnit (lazy import: repro.collectives builds on this
+    # package's primitives)
+    from repro.collectives.firmware import setup_collectives
+    from repro.collectives.plan import binomial_tree
+
+    setup_collectives(sp, binomial_tree(n_nodes))

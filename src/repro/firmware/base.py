@@ -29,7 +29,7 @@ from repro.niu.commands import (
     CmdSendMessage,
     CmdWriteDram,
 )
-from repro.niu.msgformat import FLAG_TAGON, HEADER_BYTES, MsgHeader
+from repro.niu.msgformat import FLAG_RAW, FLAG_TAGON, HEADER_BYTES, MsgHeader
 from repro.niu.niu import SP_TX_GENERAL, SP_TX_PROTOCOL
 from repro.niu.queues import BANK_S, QueueKind
 
@@ -57,16 +57,26 @@ def fw_send(
     tagon_bank: Optional[int] = None,
     tagon_offset: int = 0,
     tagon_units: int = 0,
+    raw_queue: Optional[int] = None,
 ) -> Generator["Event", None, None]:
-    """Send a message from firmware via the ordered command stream."""
+    """Send a message from firmware via the ordered command stream.
+
+    With ``raw_queue`` set, the message uses kernel-mode RAW addressing:
+    ``vdst`` is the physical destination node and ``raw_queue`` the
+    destination logical queue (required beyond the 16-node byte-vdst
+    translation convention; the tx queue must be ``allow_raw``).
+    """
     yield sp.compute(sp.fw.send_msg_insns)
     flags = 0
     if tagon_bank is not None:
         flags |= FLAG_TAGON
+    if raw_queue is not None:
+        flags |= FLAG_RAW
     hdr = MsgHeader(
         flags=flags,
         vdst=vdst,
         length=len(payload),
+        dst_queue=raw_queue or 0,
         tagon_bank=tagon_bank or 0,
         tagon_offset=tagon_offset,
         tagon_units=tagon_units,

@@ -26,6 +26,10 @@ MSG_SCOMA_INV = 10  #: home sP -> sharer sP: invalidate line
 MSG_SCOMA_INVACK = 11  #: sharer sP -> home sP: invalidation done
 MSG_SCOMA_WBREQ = 12  #: home sP -> owner sP: recall (writeback) line
 MSG_SCOMA_WBDATA = 13  #: owner sP -> home sP: recalled line data
+# 14/15 are the S-COMA eviction types declared further down.
+MSG_COLL_REQ = 16  #: aP -> local sP: contribute to / start a collective
+MSG_COLL_UP = 17  #: child sP -> parent sP: combined subtree contribution
+MSG_COLL_DOWN = 18  #: parent sP -> child sP: collective result going down
 MSG_USER = 64  #: first type value free for applications/libraries
 
 

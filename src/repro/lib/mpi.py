@@ -11,6 +11,17 @@ fragment into Basic messages, receives reassemble and match on
 allreduce, gather) are built from point-to-point — all of it ordinary
 user code over :class:`~repro.mp.basic.BasicPort`.
 
+Collectives are selectable per machine through ``algo=``:
+
+* ``"flat"`` — the original rank-0-rooted O(N) loops (the baseline);
+* ``"tree"`` — host-side spanning-tree / recursive-doubling algorithms
+  from :mod:`repro.collectives.api`: O(log N) critical path, still every
+  message issued by the aPs;
+* ``"nic"`` — NIC-offloaded: the sP ``CollectiveUnit`` firmware
+  (:mod:`repro.collectives.firmware`) combines contributions in the
+  network interface and the aP issues a single enqueue plus a single
+  dequeue per collective.
+
 Fragment format (within one Basic payload, 88-byte cap):
 
 ====== ========================================
@@ -25,11 +36,18 @@ bytes  field
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, Generator, List, Optional,
+                    Tuple, Union)
 
+from repro.collectives import api as coll_api
+from repro.collectives import wire
+from repro.collectives.firmware import ensure_collectives
+from repro.collectives.plan import (OPS, RdSchedule, TreePlan, binomial_tree,
+                                    kary_tree, op_by_name, recursive_doubling)
 from repro.common.errors import ProgramError
+from repro.firmware.proto import MSG_COLL_REQ
 from repro.mp.basic import BasicPort
-from repro.niu.niu import vdst_for
+from repro.niu.niu import SP_SERVICE_QUEUE, needs_raw_addressing, vdst_for
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.machine import StarTVoyager
@@ -38,27 +56,96 @@ if TYPE_CHECKING:  # pragma: no cover
 
 FRAG_HEADER = 10
 FRAG_DATA = 78
-#: collective traffic uses tags 0xFF00..0xFFFF, sequenced per collective
-#: call so that back-to-back collectives never steal each other's messages.
-_COLL_TAG_BASE = 0xFF00
+#: collective traffic owns tags 0x8000..0xFFFF (user tags are 15-bit),
+#: sequenced per collective call so that back-to-back collectives never
+#: steal each other's messages.  The 32768-tag window means aliasing
+#: would need that many collectives simultaneously outstanding between
+#: one rank pair; per-(src, tag) in-order delivery plus the FIFO mailbox
+#: keep even aliased single-fragment collectives correct.  The firmware
+#: path additionally keys its combining state by a 32-bit sequence
+#: number, so the NIC never sees a tag wrap at all.
+_COLL_TAG_BASE = 0x8000
+_COLL_TAG_SPAN = 0x8000
+
+#: the collective algorithm families MiniMPI can route through.
+ALGOS = ("flat", "tree", "nic")
+
+#: a reduction operator: a name from repro.collectives.plan.OPS, an
+#: arbitrary callable (host algorithms only), or None for sum.
+OpSpec = Union[None, str, Callable[[int, int], int]]
+
+
+def _resolve_op(op: OpSpec) -> Tuple[Optional[str], Callable[[int, int], int]]:
+    """``(name-or-None, fn)`` for an operator spec (None = sum)."""
+    if op is None:
+        return "sum", OPS["sum"][1]
+    if isinstance(op, str):
+        return op, op_by_name(op)[1]
+    if callable(op):
+        return None, op
+    raise ProgramError(f"op must be None, a name, or a callable: {op!r}")
 
 
 class MiniMPI:
-    """Factory for per-rank communicators over one (tx, rx) queue pair."""
+    """Factory for per-rank communicators over one (tx, rx) queue pair.
+
+    ``algo`` selects the collective family (see the module docstring);
+    ``tree``/``arity`` pick the spanning-tree shape (``"binomial"`` or
+    ``"kary"``) used by the ``"tree"`` and ``"nic"`` paths.
+    """
 
     def __init__(self, machine: "StarTVoyager", tx_index: int = 2,
-                 rx_logical: int = 2) -> None:
+                 rx_logical: int = 2, algo: str = "flat",
+                 tree: str = "binomial", arity: int = 2) -> None:
+        if algo not in ALGOS:
+            raise ProgramError(f"unknown collective algo {algo!r}; "
+                               f"choose from {ALGOS}")
+        if tree not in ("binomial", "kary"):
+            raise ProgramError(f"unknown tree shape {tree!r}")
         self.machine = machine
         self.size = machine.config.n_nodes
+        #: beyond 16 nodes the byte-vdst translation convention runs out;
+        #: sends switch to kernel-mode RAW addressing (machine assembly
+        #: marks the tx queues allow_raw for such sizes).
+        self.wide = needs_raw_addressing(self.size)
         self.tx_index = tx_index
         self.rx_logical = rx_logical
+        self.algo = algo
+        self.tree = tree
+        self.arity = arity
         self._ranks: Dict[int, "MpiRank"] = {}
+        self._plans: Dict[int, TreePlan] = {}
+        self._rd: Optional[RdSchedule] = None
+        self.nic_plan: Optional[TreePlan] = None
+        if algo == "nic":
+            # installs the CollectiveUnit firmware cluster-wide (no-op if
+            # the shipped image already carries it)
+            self.nic_plan = ensure_collectives(machine, self._build_plan(0))
 
     def rank(self, node: int) -> "MpiRank":
         """The communicator handle of one rank (cached per node)."""
         if node not in self._ranks:
             self._ranks[node] = MpiRank(self, node)
         return self._ranks[node]
+
+    # -- collective plans -----------------------------------------------------
+
+    def _build_plan(self, root: int) -> TreePlan:
+        if self.tree == "binomial":
+            return binomial_tree(self.size, root)
+        return kary_tree(self.size, root, self.arity)
+
+    def plan(self, root: int) -> TreePlan:
+        """The spanning tree rooted at ``root`` (cached per root)."""
+        if root not in self._plans:
+            self._plans[root] = self._build_plan(root)
+        return self._plans[root]
+
+    def rd_schedule(self) -> RdSchedule:
+        """The recursive-doubling allreduce schedule (cached)."""
+        if self._rd is None:
+            self._rd = recursive_doubling(self.size)
+        return self._rd
 
 
 class MpiRank:
@@ -82,22 +169,44 @@ class MpiRank:
 
     def send(self, api: "ApApi", dst: int, data: bytes, tag: int = 0
              ) -> Generator["Event", None, None]:
-        """Blocking-buffered send of arbitrary length."""
+        """Blocking-buffered send of arbitrary length.
+
+        User tags are 15-bit (0..0x7FFF); the upper half of the tag space
+        is reserved for collective sequencing.
+        """
+        if not (0 <= tag < _COLL_TAG_BASE):
+            raise ProgramError(
+                f"user tags are 0..{_COLL_TAG_BASE - 1:#x}; "
+                f"{_COLL_TAG_BASE:#x}..0xffff is reserved for collectives"
+            )
+        yield from self._send(api, dst, data, tag)
+
+    def _send(self, api: "ApApi", dst: int, data: bytes, tag: int
+              ) -> Generator["Event", None, None]:
+        """The raw send path (full 16-bit tag space; collectives use it)."""
         if not (0 <= dst < self.size):
             raise ProgramError(f"no rank {dst}")
         if not (0 <= tag <= 0xFFFF):
             raise ProgramError(f"tag {tag} outside 16 bits")
-        vdst = vdst_for(dst, self.mpi.rx_logical)
         total = len(data)
         offset = 0
         while True:
             frag = data[offset : offset + FRAG_DATA]
             payload = (tag.to_bytes(2, "big") + total.to_bytes(4, "big")
                        + offset.to_bytes(4, "big") + frag)
-            yield from self.port.send(api, vdst, payload)
+            yield from self._launch(api, dst, self.mpi.rx_logical, payload)
             offset += len(frag)
             if offset >= total:
                 break
+
+    def _launch(self, api: "ApApi", dst: int, queue: int, payload: bytes
+                ) -> Generator["Event", None, None]:
+        """One Basic message to (node, logical queue), wide-safe."""
+        if self.mpi.wide:
+            yield from self.port.send(api, dst, payload, raw=True,
+                                      dst_queue=queue)
+        else:
+            yield from self.port.send(api, vdst_for(dst, queue), payload)
 
     def recv(self, api: "ApApi", src: Optional[int] = None,
              tag: Optional[int] = None
@@ -148,44 +257,95 @@ class MpiRank:
 
     # -- collectives -------------------------------------------------------------
 
-    def _coll_tag(self) -> int:
-        tag = _COLL_TAG_BASE | (self._coll_seq & 0xFF)
+    def _next_coll(self) -> Tuple[int, int]:
+        """Advance the collective sequence; returns ``(wire_seq, tag)``."""
+        seq = self._coll_seq
         self._coll_seq += 1
-        return tag
+        return seq & 0xFFFFFFFF, _COLL_TAG_BASE | (seq % _COLL_TAG_SPAN)
+
+    def _nic_root(self, root: int) -> None:
+        plan = self.mpi.nic_plan
+        assert plan is not None
+        if root != plan.root:
+            raise ProgramError(
+                f"NIC-offloaded collectives run on the installed tree "
+                f"(root {plan.root}); got root {root}.  Use algo='tree' "
+                f"for arbitrary roots."
+            )
+
+    def _nic_request(self, api: "ApApi", kind: int, op_code: int, seq: int,
+                     tag: int, root: int, data: bytes
+                     ) -> Generator["Event", None, None]:
+        """The single enqueue: one Basic message to the local sP."""
+        payload = wire.pack_coll(MSG_COLL_REQ, kind, op_code, 0, seq, root,
+                                 self.mpi.rx_logical, tag, data)
+        yield from self._launch(api, self.rank, SP_SERVICE_QUEUE, payload)
 
     def barrier(self, api: "ApApi") -> Generator["Event", None, None]:
-        """All ranks synchronize (gather-to-0 then broadcast release)."""
-        tag = self._coll_tag()
+        """All ranks synchronize."""
+        seq, tag = self._next_coll()
         if self.size == 1:
             return
-        if self.rank == 0:
+        algo = self.mpi.algo
+        if algo == "tree":
+            yield from coll_api.tree_barrier(self, api, self.mpi.plan(0), tag)
+        elif algo == "nic":
+            yield from self._nic_request(api, wire.KIND_BARRIER, 0, seq, tag,
+                                         0, b"")
+            yield from self.recv(api, tag=tag)
+        elif self.rank == 0:
             for _ in range(self.size - 1):
                 yield from self.recv(api, tag=tag)
             for dst in range(1, self.size):
-                yield from self.send(api, dst, b"r", tag=tag)
+                yield from self._send(api, dst, b"r", tag)
         else:
-            yield from self.send(api, 0, b"a", tag=tag)
+            yield from self._send(api, 0, b"a", tag)
             yield from self.recv(api, src=0, tag=tag)
 
     def bcast(self, api: "ApApi", data: Optional[bytes], root: int = 0
               ) -> Generator["Event", None, bytes]:
         """Broadcast ``data`` from ``root``; every rank returns it."""
-        tag = self._coll_tag()
+        seq, tag = self._next_coll()
         if self.size == 1:
             return data or b""
+        algo = self.mpi.algo
+        if algo == "tree":
+            return (yield from coll_api.tree_bcast(
+                self, api, data, self.mpi.plan(root), tag))
+        if algo == "nic":
+            self._nic_root(root)
+            if self.rank == root:
+                assert data is not None, "root must supply the data"
+                if len(data) > wire.COLL_MAX_DATA:
+                    raise ProgramError(
+                        f"NIC-offloaded bcast carries at most "
+                        f"{wire.COLL_MAX_DATA} bytes (got {len(data)}); use "
+                        f"algo='tree' for larger payloads"
+                    )
+                yield from self._nic_request(api, wire.KIND_BCAST, 0, seq,
+                                             tag, root, data)
+            _src, _tag, got = yield from self.recv(api, tag=tag)
+            return got
         if self.rank == root:
             assert data is not None, "root must supply the data"
             for dst in range(self.size):
                 if dst != root:
-                    yield from self.send(api, dst, data, tag=tag)
+                    yield from self._send(api, dst, data, tag)
             return data
         _src, _tag, got = yield from self.recv(api, src=root, tag=tag)
         return got
 
     def gather(self, api: "ApApi", data: bytes, root: int = 0
                ) -> Generator["Event", None, Optional[List[bytes]]]:
-        """Gather per-rank byte strings at ``root`` (rank order)."""
-        tag = self._coll_tag()
+        """Gather per-rank byte strings at ``root`` (rank order).
+
+        Variable-size data does not fit the firmware combining protocol,
+        so ``algo="nic"`` routes gather over the host-side tree.
+        """
+        seq, tag = self._next_coll()
+        if self.mpi.algo in ("tree", "nic"):
+            return (yield from coll_api.tree_gather(
+                self, api, data, self.mpi.plan(root), tag))
         if self.rank == root:
             parts: List[Optional[bytes]] = [None] * self.size
             parts[root] = data
@@ -193,29 +353,80 @@ class MpiRank:
                 src, _tag, got = yield from self.recv(api, tag=tag)
                 parts[src] = got
             return parts  # type: ignore[return-value]
-        yield from self.send(api, root, data, tag=tag)
+        yield from self._send(api, root, data, tag)
         return None
 
     def reduce(self, api: "ApApi", value: int, root: int = 0,
-               op: Callable[[int, int], int] = lambda a, b: a + b
+               op: OpSpec = None
                ) -> Generator["Event", None, Optional[int]]:
-        """Reduce 64-bit integers to ``root`` with ``op`` (default sum)."""
-        tag = self._coll_tag()
+        """Reduce 64-bit integers to ``root`` with ``op`` (default sum).
+
+        ``op`` may be a name from :data:`repro.collectives.plan.OPS` or —
+        on the host algorithm paths — an arbitrary callable.  The tree
+        path folds in ascending-rank order (MPI's canonical order); the
+        flat path folds in *arrival* order, so non-commutative callables
+        are rank-order sensitive there.
+        """
+        seq, tag = self._next_coll()
+        name, fn = _resolve_op(op)
+        algo = self.mpi.algo
+        if algo == "tree":
+            return (yield from coll_api.tree_reduce(
+                self, api, value, fn, self.mpi.plan(root), tag))
+        if algo == "nic":
+            self._nic_root(root)
+            if name is None:
+                raise ProgramError(
+                    "NIC-offloaded reduction needs a named op from "
+                    f"{sorted(OPS)}; use algo='tree' for callables"
+                )
+            if self.size == 1:
+                return value
+            yield from self._nic_request(api, wire.KIND_REDUCE,
+                                         OPS[name][0], seq, tag, root,
+                                         wire.pack_value(value))
+            if self.rank != root:
+                return None
+            _src, _tag, got = yield from self.recv(api, tag=tag)
+            return wire.unpack_value(got)
         if self.rank == root:
             acc = value
             for _ in range(self.size - 1):
                 _src, _tag, got = yield from self.recv(api, tag=tag)
-                acc = op(acc, int.from_bytes(got, "big", signed=True))
+                acc = fn(acc, int.from_bytes(got, "big", signed=True))
             return acc
-        yield from self.send(api, root,
-                             value.to_bytes(8, "big", signed=True),
-                             tag=tag)
+        yield from self._send(api, root,
+                              value.to_bytes(8, "big", signed=True),
+                              tag)
         return None
 
-    def allreduce(self, api: "ApApi", value: int,
-                  op: Callable[[int, int], int] = lambda a, b: a + b
+    def allreduce(self, api: "ApApi", value: int, op: OpSpec = None
                   ) -> Generator["Event", None, int]:
-        """Reduce then broadcast; every rank returns the result."""
+        """Reduce with ``op`` (default sum); every rank returns the result."""
+        algo = self.mpi.algo
+        if algo == "tree":
+            seq, tag = self._next_coll()
+            _name, fn = _resolve_op(op)
+            if self.size == 1:
+                return value
+            return (yield from coll_api.rd_allreduce(
+                self, api, value, fn, self.mpi.rd_schedule(), tag))
+        if algo == "nic":
+            seq, tag = self._next_coll()
+            name, _fn = _resolve_op(op)
+            if name is None:
+                raise ProgramError(
+                    "NIC-offloaded reduction needs a named op from "
+                    f"{sorted(OPS)}; use algo='tree' for callables"
+                )
+            if self.size == 1:
+                return value
+            yield from self._nic_request(api, wire.KIND_ALLREDUCE,
+                                         OPS[name][0], seq, tag, 0,
+                                         wire.pack_value(value))
+            _src, _tag, got = yield from self.recv(api, tag=tag)
+            return wire.unpack_value(got)
+        # flat: reduce to rank 0, then broadcast the result
         acc = yield from self.reduce(api, value, root=0, op=op)
         if self.rank == 0:
             result = yield from self.bcast(

@@ -88,15 +88,21 @@ class BasicPort:
         payload: bytes,
         tagon: Optional[Tuple[int, int]] = None,
         raw: bool = False,
+        dst_queue: int = 0,
     ) -> Generator["Event", None, None]:
         """Compose and launch one message (blocks while the queue is full).
 
         ``tagon`` is ``(asram_offset, units)`` from :meth:`stage_tagon`.
+        With ``raw=True``, ``vdst`` is the *physical* destination node
+        and ``dst_queue`` the destination logical queue — kernel-mode
+        addressing that bypasses translation (the tx queue must be
+        ``allow_raw``; machines beyond 16 nodes are assembled this way).
         """
         if len(payload) > MAX_PAYLOAD:
             raise ProgramError(f"payload {len(payload)} exceeds {MAX_PAYLOAD}")
         flags = 0x01 if raw else 0
-        hdr = MsgHeader(flags=flags, vdst=vdst, length=len(payload))
+        hdr = MsgHeader(flags=flags, vdst=vdst, length=len(payload),
+                        dst_queue=dst_queue if raw else 0)
         if tagon is not None:
             offset, units = tagon
             if units not in (TAGON_SMALL_UNITS, TAGON_LARGE_UNITS):

@@ -110,6 +110,20 @@ def vdst_for(node: int, logical_queue: int) -> int:
     return node * 16 + logical_queue
 
 
+def needs_raw_addressing(n_nodes: int) -> bool:
+    """True when a machine exceeds the byte-vdst translation convention.
+
+    The one-byte vdst field packs ``node*16 + queue``, so translated
+    addressing tops out at 16 nodes.  Larger machines (up to the 256
+    physical nodes a RAW header byte can name) run kernel-mode RAW
+    addressing instead: the header carries the physical node and logical
+    queue directly and the machine assembly marks every tx queue
+    ``allow_raw`` (single-job kernel mode — per-queue translation
+    protection is a 16-node-scale feature of the model).
+    """
+    return n_nodes > 16
+
+
 class _Bump:
     """Tiny bump allocator for SRAM layout."""
 

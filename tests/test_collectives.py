@@ -1,0 +1,206 @@
+"""The collectives subsystem end to end: flat vs tree vs NIC-offloaded.
+
+Every algorithm family must produce identical results — including on
+non-power-of-two machines — and the NIC path must actually run in the
+sP firmware (combining counters move, the aP does one enqueue + one
+dequeue).
+"""
+
+import pytest
+
+import repro
+from repro.collectives.firmware import ensure_collectives
+from repro.collectives.plan import binomial_tree, kary_tree
+from repro.common.errors import ProgramError, SimulationError
+from repro.lib.mpi import MiniMPI
+
+
+def _machine(n):
+    return repro.StarTVoyager(repro.default_config(n_nodes=n))
+
+
+def _run_suite(machine, mpi):
+    """One of everything on every rank; returns the per-rank results."""
+    n = machine.config.n_nodes
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        yield from comm.barrier(api)
+        data = yield from comm.bcast(
+            api, b"payload-42" if rank == 0 else None, root=0)
+        total = yield from comm.reduce(api, rank + 1, root=0, op="sum")
+        yield from comm.barrier(api)
+        big = yield from comm.allreduce(api, rank + 1, op="max")
+        parts = yield from comm.gather(api, bytes([rank]) * (rank + 1),
+                                       root=0)
+        return data, total, big, parts
+
+    procs = [machine.spawn(i, worker, i) for i in range(n)]
+    return machine.run_all(procs, limit=1e10)
+
+
+@pytest.mark.parametrize("algo", ["flat", "tree", "nic"])
+@pytest.mark.parametrize("n", [4, 6])
+def test_algos_agree(algo, n):
+    """All algorithm families give the same answers, also at the
+    non-power-of-two size 6 (the acceptance-criterion case)."""
+    machine = _machine(n)
+    results = _run_suite(machine, MiniMPI(machine, algo=algo))
+    expected_gather = [bytes([r]) * (r + 1) for r in range(n)]
+    for rank, (data, total, big, parts) in enumerate(results):
+        assert data == b"payload-42"
+        assert total == (n * (n + 1) // 2 if rank == 0 else None)
+        assert big == n
+        assert parts == (expected_gather if rank == 0 else None)
+
+
+@pytest.mark.parametrize("algo", ["tree", "nic"])
+def test_kary_tree_shape(algo):
+    machine = _machine(6)
+    results = _run_suite(machine, MiniMPI(machine, algo=algo, tree="kary",
+                                          arity=3))
+    assert all(r[2] == 6 for r in results)
+
+
+def test_nic_firmware_combines():
+    """The offloaded path runs in the sP: combining state completes at
+    the root and every node delivers exactly one result per collective,
+    while the aP issues a single send and a single recv."""
+    machine = _machine(4)
+    mpi = MiniMPI(machine, algo="nic")
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        got = yield from comm.allreduce(api, rank, op="sum")
+        return got, comm.port.sent, comm.port.received
+
+    procs = [machine.spawn(i, worker, i) for i in range(4)]
+    results = machine.run_all(procs, limit=1e10)
+    for got, sent, received in results:
+        assert got == 0 + 1 + 2 + 3
+        assert sent == 1  # one enqueue ...
+        assert received == 1  # ... one dequeue per collective
+    root = mpi.nic_plan.root
+    assert machine.stats.counter(f"sp{root}.coll_completed").value == 1
+    for i in range(4):
+        assert machine.stats.counter(f"sp{i}.coll_delivered").value == 1
+
+
+def test_nic_reduce_root_only_delivery():
+    machine = _machine(4)
+    mpi = MiniMPI(machine, algo="nic")
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        return (yield from comm.reduce(api, 2 ** rank, root=0, op="sum"))
+
+    procs = [machine.spawn(i, worker, i) for i in range(4)]
+    results = machine.run_all(procs, limit=1e10)
+    assert results == [15, None, None, None]
+    assert machine.stats.counter("sp0.coll_delivered").value == 1
+    assert machine.stats.counter("sp1.coll_delivered").value == 0
+
+
+def test_nic_rejects_callable_op():
+    machine = _machine(2)
+    mpi = MiniMPI(machine, algo="nic")
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        yield from comm.allreduce(api, 1, op=lambda a, b: a + b)
+
+    with pytest.raises(SimulationError):
+        machine.run_until(machine.spawn(0, worker, 0), limit=1e9)
+
+
+def test_nic_rejects_arbitrary_root():
+    machine = _machine(4)
+    mpi = MiniMPI(machine, algo="nic")
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        yield from comm.bcast(api, b"x", root=2)
+
+    with pytest.raises(SimulationError):
+        machine.run_until(machine.spawn(2, worker, 2), limit=1e9)
+
+
+def test_nic_bcast_payload_cap():
+    machine = _machine(2)
+    mpi = MiniMPI(machine, algo="nic")
+
+    def worker(api, rank):
+        yield from mpi.rank(rank).bcast(api, bytes(100), root=0)
+
+    with pytest.raises(SimulationError):
+        machine.run_until(machine.spawn(0, worker, 0), limit=1e9)
+
+
+def test_ensure_collectives_replaces_idle_plan():
+    machine = _machine(4)
+    # the default image ships a binomial plan; an explicit different
+    # plan reinstalls cluster-wide while nothing is in flight
+    assert ensure_collectives(machine).kind == "binomial"
+    plan = ensure_collectives(machine, kary_tree(4, k=3))
+    assert plan.kind == "kary3"
+    assert machine.node(2).sp.state["collectives"].plan is plan
+    # and asking again without a plan keeps it
+    assert ensure_collectives(machine) is plan
+
+
+def test_invalid_algo_rejected():
+    machine = _machine(2)
+    with pytest.raises(ProgramError):
+        MiniMPI(machine, algo="quantum")
+    with pytest.raises(ProgramError):
+        MiniMPI(machine, tree="fractal")
+
+
+def test_tree_reduce_canonical_order():
+    """Non-commutative op on the tree path: the binomial fold equals the
+    ascending-rank fold (decimal concatenation makes order visible)."""
+    machine = _machine(6)
+    mpi = MiniMPI(machine, algo="tree")
+    cat = lambda a, b: int(str(a) + str(b))  # noqa: E731
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        return (yield from comm.reduce(api, rank + 1, root=0, op=cat))
+
+    procs = [machine.spawn(i, worker, i) for i in range(6)]
+    results = machine.run_all(procs, limit=1e10)
+    assert results[0] == 123456
+
+
+def test_tree_allreduce_deterministic_noncommutative():
+    machine = _machine(6)
+    mpi = MiniMPI(machine, algo="tree")
+    cat = lambda a, b: int(str(a) + str(b))  # noqa: E731
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        return (yield from comm.allreduce(api, rank + 1, op=cat))
+
+    procs = [machine.spawn(i, worker, i) for i in range(6)]
+    results = machine.run_all(procs, limit=1e10)
+    # every rank agrees, and every contribution appears exactly once
+    assert len(set(results)) == 1
+    assert sorted(str(results[0])) == list("123456")
+
+
+@pytest.mark.parametrize("algo", ["flat", "tree", "nic"])
+def test_wide_machine_collectives(algo):
+    """Beyond the 16-node vdst convention: RAW addressing carries the
+    same collectives on a 17-node machine."""
+    machine = _machine(17)
+    mpi = MiniMPI(machine, algo=algo)
+    assert mpi.wide
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        yield from comm.barrier(api)
+        return (yield from comm.allreduce(api, rank, op="sum"))
+
+    procs = [machine.spawn(i, worker, i) for i in range(17)]
+    results = machine.run_all(procs, limit=1e10)
+    assert results == [sum(range(17))] * 17

@@ -1,0 +1,150 @@
+"""Pure collective plans: spanning trees, schedules, ops, wire format."""
+
+import pytest
+
+from repro.collectives import wire
+from repro.collectives.plan import (OPS, binomial_tree, kary_tree, op_by_code,
+                                    op_by_name, recursive_doubling)
+from repro.common.errors import ProgramError
+
+
+# -- operators ---------------------------------------------------------------
+
+
+def test_op_codes_bijective():
+    codes = [code for code, _fn in OPS.values()]
+    assert len(set(codes)) == len(OPS)
+    for name, (code, fn) in OPS.items():
+        assert op_by_name(name) == (code, fn)
+        assert op_by_code(code) is fn
+
+
+def test_unknown_ops_rejected():
+    with pytest.raises(ProgramError):
+        op_by_name("avg")
+    with pytest.raises(ProgramError):
+        op_by_code(99)
+
+
+# -- spanning trees -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("builder", [binomial_tree,
+                                     lambda n, r=0: kary_tree(n, r, 2),
+                                     lambda n, r=0: kary_tree(n, r, 4)])
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 6, 8, 13, 16, 17, 32, 33])
+def test_trees_are_spanning(builder, n):
+    for root in {0, n // 2, n - 1}:
+        plan = builder(n, root)
+        plan.validate()  # spanning-tree invariants
+        assert plan.parent[root] is None
+        assert sum(len(c) for c in plan.children) == n - 1
+
+
+def test_binomial_depth_logarithmic():
+    assert binomial_tree(1).depth() == 0
+    assert binomial_tree(2).depth() == 1
+    assert binomial_tree(8).depth() == 3
+    assert binomial_tree(16).depth() == 4
+    # depth is the max popcount of a virtual rank, e.g. 15 = 0b1111
+    assert binomial_tree(17).depth() == 4
+    assert binomial_tree(32).depth() == 5
+
+
+def test_kary_depth_logarithmic():
+    assert kary_tree(15, k=2).depth() == 3
+    assert kary_tree(16, k=2).depth() == 4
+    assert kary_tree(21, k=4).depth() == 2
+
+
+def test_binomial_subtree_contiguous():
+    """The property the non-commutative reductions rely on: the subtree
+    of virtual rank v spans [v, v + lowbit(v)), so own-first +
+    ascending-children folds equal the ascending-rank fold."""
+    plan = binomial_tree(16)
+
+    def subtree(r):
+        out = [r]
+        for c in plan.children[r]:
+            out.extend(subtree(c))
+        return out
+
+    for v in range(1, 16):
+        low = v & -v
+        assert sorted(subtree(v)) == list(range(v, v + low))
+        # fold order is exactly ascending
+        assert subtree(0) == list(range(16)) if v == 1 else True
+    assert subtree(0) == list(range(16))
+
+
+def test_rotation_maps_root():
+    plan = binomial_tree(6, root=4)
+    assert plan.root == 4
+    assert plan.parent[4] is None
+    # virtual rank v corresponds to real (v + 4) % 6
+    ref = binomial_tree(6, root=0)
+    for v in range(1, 6):
+        pv = ref.parent[v]
+        assert plan.parent[(v + 4) % 6] == (pv + 4) % 6
+
+
+def test_tree_argument_errors():
+    with pytest.raises(ProgramError):
+        binomial_tree(0)
+    with pytest.raises(ProgramError):
+        binomial_tree(4, root=4)
+    with pytest.raises(ProgramError):
+        kary_tree(4, k=0)
+
+
+# -- recursive doubling ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 6, 8, 13, 16, 17, 32])
+def test_rd_schedule_covers_everyone(n):
+    sched = recursive_doubling(n)
+    assert sched.pow2 <= n < 2 * sched.pow2
+    extras = [r for r in range(n) if sched.is_extra(r)]
+    assert extras == list(range(sched.pow2, n))
+    for r in extras:
+        # every extra is served by exactly its r - pow2 partner
+        assert sched.extra_partner(r - sched.pow2) == r
+    for r in range(sched.pow2):
+        partners = sched.partners(r)
+        assert len(partners) == len(sched.rounds)
+        assert all(0 <= p < sched.pow2 and p != r for p in partners)
+        # the exchange rounds form a hypercube: r reaches everyone
+        reached = {r}
+        for d in sched.rounds:
+            reached |= {x ^ d for x in reached}
+        assert reached == set(range(sched.pow2))
+
+
+def test_rd_schedule_rejects_empty():
+    with pytest.raises(ProgramError):
+        recursive_doubling(0)
+
+
+# -- wire format ----------------------------------------------------------------
+
+
+def test_coll_wire_roundtrip():
+    msg = wire.unpack_coll(wire.pack_coll(
+        16, wire.KIND_ALLREDUCE, 3, comm=7, seq=0xDEADBEEF, root=5,
+        reply_queue=2, tag=0x8123, data=wire.pack_value(-42)))
+    assert (msg.kind, msg.op, msg.comm) == (wire.KIND_ALLREDUCE, 3, 7)
+    assert (msg.seq, msg.root, msg.reply_queue) == (0xDEADBEEF, 5, 2)
+    assert msg.tag == 0x8123
+    assert wire.unpack_value(msg.data) == -42
+    assert msg.key == (7, 0xDEADBEEF)
+
+
+def test_coll_wire_data_cap():
+    big = bytes(wire.COLL_MAX_DATA + 1)
+    with pytest.raises(ProgramError):
+        wire.pack_coll(16, wire.KIND_BCAST, 0, 0, 1, 0, 2, 0x8000, big)
+
+
+def test_value_packing_signed_64():
+    for v in (0, 1, -1, 2**63 - 1, -(2**63)):
+        assert wire.unpack_value(wire.pack_value(v)) == v

@@ -179,3 +179,104 @@ def test_bad_rank_rejected(m2):
     from repro.common.errors import SimulationError
     with pytest.raises(SimulationError):
         m2.run_until(m2.spawn(0, a), limit=1e8)
+
+
+# -- flat-collective edge cases ---------------------------------------------------
+
+
+def test_size_one_collectives():
+    """A single-rank communicator completes every collective locally."""
+    m1 = repro.StarTVoyager(repro.default_config(n_nodes=1))
+    mpi = MiniMPI(m1)
+
+    def worker(api):
+        comm = mpi.rank(0)
+        yield from comm.barrier(api)
+        data = yield from comm.bcast(api, b"solo")
+        total = yield from comm.reduce(api, 7)
+        big = yield from comm.allreduce(api, 7, op="max")
+        parts = yield from comm.gather(api, b"only")
+        return data, total, big, parts
+
+    result = m1.run_until(m1.spawn(0, worker), limit=1e9)
+    assert result == (b"solo", 7, 7, [b"only"])
+
+
+def test_non_power_of_two_collectives():
+    """Flat collectives at sizes 3 and 6 (nothing assumes powers of two)."""
+    for n in (3, 6):
+        m = repro.StarTVoyager(repro.default_config(n_nodes=n))
+        mpi = MiniMPI(m)
+
+        def worker(api, rank):
+            comm = mpi.rank(rank)
+            total = yield from comm.allreduce(api, rank + 1)
+            yield from comm.barrier(api)
+            low = yield from comm.allreduce(api, rank, op="min")
+            return total, low
+
+        procs = [m.spawn(i, worker, i) for i in range(n)]
+        expected = n * (n + 1) // 2
+        assert m.run_all(procs, limit=1e10) == [(expected, 0)] * n
+
+
+def test_zero_byte_bcast(m4):
+    mpi = MiniMPI(m4)
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        return (yield from comm.bcast(api, b"" if rank == 0 else None))
+
+    procs = [m4.spawn(n, worker, n) for n in range(4)]
+    assert m4.run_all(procs, limit=1e10) == [b""] * 4
+
+
+def test_flat_reduce_noncommutative_covers_everyone(m4):
+    """The flat path folds in arrival order, so a non-commutative op
+    gives *an* order — but every contribution appears exactly once and
+    the root's own value leads the fold."""
+    mpi = MiniMPI(m4)
+    cat = lambda a, b: int(str(a) + str(b))  # noqa: E731
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        return (yield from comm.reduce(api, rank + 1, root=0, op=cat))
+
+    procs = [m4.spawn(n, worker, n) for n in range(4)]
+    results = m4.run_all(procs, limit=1e10)
+    digits = str(results[0])
+    assert sorted(digits) == list("1234")
+    assert digits[0] == "1"  # root's own value folds first
+
+
+def test_reserved_tag_space_rejected(m2):
+    """User tags stay below 0x8000; the upper half belongs to collective
+    sequencing (the old 8-bit wrap masked this entirely)."""
+    mpi = MiniMPI(m2)
+
+    def a(api):
+        yield from mpi.rank(0).send(api, 1, b"x", tag=0x8000)
+
+    from repro.common.errors import SimulationError
+    with pytest.raises(SimulationError):
+        m2.run_until(m2.spawn(0, a), limit=1e8)
+
+
+def test_many_collectives_no_tag_aliasing(m2):
+    """Far more than 256 back-to-back collectives: the widened sequence
+    space keeps consecutive calls from stealing each other's messages
+    (the original _coll_tag wrapped at 8 bits)."""
+    mpi = MiniMPI(m2)
+    rounds = 300
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        out = []
+        for i in range(rounds):
+            out.append((yield from comm.allreduce(api, rank + i)))
+        return out
+
+    procs = [m2.spawn(n, worker, n) for n in range(2)]
+    results = m2.run_all(procs, limit=1e11)
+    expected = [2 * i + 1 for i in range(rounds)]
+    assert results == [expected, expected]
