@@ -59,7 +59,6 @@ def test_piece_size_tradeoff(benchmark):
 
 
 def _stream_with_depth(depth, count=60):
-    cfg_machine = fresh_machine(2)  # placeholder to clone defaults
     import repro
     cfg = repro.default_config(n_nodes=2)
     cfg.niu.queue_depth = depth

@@ -18,7 +18,6 @@ pattern (8 dirty bytes in each of 8 lines spread over a 4 KB region):
   page regardless of what changed.
 """
 
-import pytest
 
 from benchmarks.conftest import record
 from repro.bench import fresh_machine

@@ -8,14 +8,39 @@ Expected shape (from the paper's text): approach 1's per-message aP
 overhead makes it worst at scale but competitive for tiny transfers
 (no firmware round-trip); approaches 2 and 3 amortize their setup and
 win as size grows, with 3 ahead of 2.
+
+Also runnable directly (no pytest) for machine-readable output::
+
+    python benchmarks/bench_fig3_latency.py --emit-metrics
+    python benchmarks/bench_fig3_latency.py --trace --size 4096
+
+``--emit-metrics`` writes the sweep with one schema-versioned
+``machine.metrics()`` snapshot per data point (p50/p90/p99 included);
+``--trace`` renders one transfer as a Chrome/Perfetto trace_event file
+(open at ui.perfetto.dev).
 """
+
+import os
+import sys
+
+# script execution (`python benchmarks/bench_fig3_latency.py`) has only
+# benchmarks/ on sys.path; make the repo root and src/ importable
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _p in (_ROOT, os.path.join(_ROOT, "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
 
 import pytest
 
 from benchmarks.conftest import record
-from repro.bench import FIG_SIZES, run_block_transfer
+from repro.bench import FIG_SIZES, fresh_machine, print_table, run_block_transfer
+from repro.core.blocktransfer import BlockTransferExperiment
+from repro.obs import metrics_snapshot, write_metrics
 
 HEADER = ["approach", "size_B", "latency_us", "verified"]
+
+#: where the CLI drops its artifacts.
+RESULTS_DIR = os.path.join(_ROOT, "benchmarks", "results")
 
 
 @pytest.mark.parametrize("approach", [1, 2, 3])
@@ -43,3 +68,82 @@ def test_fig3_shape(benchmark):
     assert small[1].notify_latency_ns < small[3].notify_latency_ns
     assert large[3].notify_latency_ns < large[2].notify_latency_ns
     assert large[3].notify_latency_ns < large[1].notify_latency_ns
+
+
+# ----------------------------------------------------------------------
+# direct CLI
+# ----------------------------------------------------------------------
+
+def _sweep_with_metrics(approaches, sizes):
+    """The Figure-3 grid, one fresh machine and metrics snapshot each."""
+    points = []
+    for approach in approaches:
+        for size in sizes:
+            machine = fresh_machine(2)
+            result = BlockTransferExperiment(machine).run(approach, size)
+            points.append({
+                "approach": approach,
+                "size_bytes": size,
+                "notify_latency_ns": result.notify_latency_ns,
+                "data_ready_latency_ns": result.data_ready_latency_ns,
+                "verified": result.verified,
+                "metrics": metrics_snapshot(machine, include_config=False),
+            })
+    return points
+
+
+def _traced_transfer(approach, size, path):
+    """One transfer with full tracing on, rendered as a Perfetto file."""
+    machine = fresh_machine(2)
+    machine.obs.enable("ap", "sp", "niu", "net")
+    sampler = machine.obs.start_sampler(period_ns=500.0)
+    BlockTransferExperiment(machine).run(approach, size)
+    machine.obs.stop_samplers()
+    machine.obs.export_perfetto(path)
+    del sampler
+    return path
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--emit-metrics", action="store_true",
+                        help="write the sweep + per-point metrics snapshots "
+                             "to benchmarks/results/fig3_metrics.json")
+    parser.add_argument("--trace", action="store_true",
+                        help="write a Perfetto trace of one transfer to "
+                             "benchmarks/results/fig3_trace.json")
+    parser.add_argument("--approach", type=int, default=3, choices=(1, 2, 3),
+                        help="approach for --trace (default 3)")
+    parser.add_argument("--size", type=int, default=4096,
+                        help="transfer size for --trace (default 4096)")
+    parser.add_argument("--out-dir", default=RESULTS_DIR,
+                        help="artifact directory (default benchmarks/results)")
+    args = parser.parse_args(argv)
+
+    points = _sweep_with_metrics((1, 2, 3), FIG_SIZES)
+    rows = [[f"A{p['approach']}", p["size_bytes"],
+             p["notify_latency_ns"] / 1000.0, p["verified"]] for p in points]
+    print_table("Figure 3: block transfer latency (us)", HEADER, rows)
+
+    if args.emit_metrics:
+        document = {
+            "benchmark": "fig3_latency",
+            "schema": "startv.metrics",
+            "schema_version": 1,
+            "points": points,
+        }
+        path = write_metrics(
+            os.path.join(args.out_dir, "fig3_metrics.json"), document)
+        print(f"metrics: {path}")
+
+    if args.trace:
+        path = _traced_transfer(
+            args.approach, args.size,
+            os.path.join(args.out_dir, "fig3_trace.json"))
+        print(f"trace:   {path}")
+
+
+if __name__ == "__main__":
+    main()

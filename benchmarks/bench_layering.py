@@ -12,7 +12,6 @@ end-to-end layer budget: the one-way Express latency decomposed against
 the raw network flight time of the same packet.
 """
 
-import pytest
 
 from benchmarks.conftest import record
 from repro.bench import express_oneway_latency, fresh_machine

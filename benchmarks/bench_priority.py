@@ -8,7 +8,6 @@ round-robin arbiter splits service evenly; raising one queue's priority
 makes it drain strictly first whenever both hold messages.
 """
 
-import pytest
 
 from benchmarks.conftest import record
 from repro.bench import fresh_machine

@@ -10,7 +10,6 @@ Expected shape: resident delivery is several times faster per message;
 mixed traffic degrades only the non-resident share.
 """
 
-import pytest
 
 from benchmarks.conftest import record
 from repro.bench import fresh_machine

@@ -7,7 +7,6 @@ cache").  Expected shape: S-COMA cold miss ~ NUMA read; S-COMA warm hit
 orders of magnitude cheaper; NUMA flat regardless of reuse.
 """
 
-import pytest
 
 from benchmarks.conftest import record
 from repro.bench import fresh_machine

@@ -60,7 +60,7 @@ def test_hotspot_does_not_lose_messages(benchmark):
         machine = fresh_machine(8)
         procs, verify = hotspot(machine, messages_per_node=30)
         _run(machine, procs, verify)
-        drops = sum(v for k, v in machine.report().items()
+        drops = sum(v for k, v in machine.stats.report().items()
                     if k.endswith("rx_drops"))
         return drops
 

@@ -99,10 +99,11 @@ def main() -> None:
     print(f"{N}x{N} matmul over {NODES} nodes: "
           f"{'CORRECT' if got == want else 'WRONG'}")
     print(f"  simulated time: {machine.now / 1000:.1f} us")
-    occ = machine.occupancies(1)
+    metrics = machine.metrics()
+    occ = metrics["occupancy"]["1"]
     print(f"  worker 1 occupancy: aP {occ['ap']:.2f}, sP {occ['sp']:.3f}")
-    stats = machine.report()
-    blocks = sum(int(v) for k, v in stats.items() if "block_txs" in k)
+    blocks = sum(int(v) for k, v in metrics["counters"].items()
+                 if "block_txs" in k)
     print(f"  hardware block transfers used: {blocks}")
 
 

@@ -74,8 +74,8 @@ def main() -> None:
     smoothed = all(final[i] <= final[i + 1] for i in range(total - 1))
     print(f"  monotone (smoothing preserved order): {smoothed}")
     print(f"  simulated time: {machine.now / 1000:.1f} us")
-    stats = machine.report()
-    checks = sum(v for k, v in stats.items() if k.startswith("count.ctrl")
+    counters = machine.metrics()["counters"]
+    checks = sum(v for k, v in counters.items() if k.startswith("ctrl")
                  and "msgs_sent" in k)
     print(f"  protocol messages exchanged: {int(checks)}")
 

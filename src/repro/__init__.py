@@ -12,11 +12,39 @@ Quick start::
 
     from repro import StarTVoyager, default_config
     machine = StarTVoyager(default_config(n_nodes=2))
+
+Measurement lives behind ``machine.metrics()`` (schema-versioned
+snapshot with p50/p90/p99 latencies) and ``machine.obs`` (span tracing,
+Perfetto export, queue-depth sampling) — see :mod:`repro.obs`.
 """
 
 from repro.common.config import MachineConfig, default_config
+from repro.core.inspect import describe_machine
 from repro.core.machine import StarTVoyager
+from repro.lib.mpi import MiniMPI
+from repro.obs import (
+    Histogram,
+    Observability,
+    export_perfetto,
+    metrics_snapshot,
+    write_metrics,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["StarTVoyager", "MachineConfig", "default_config", "__version__"]
+__all__ = [
+    # machine construction
+    "StarTVoyager",
+    "MachineConfig",
+    "default_config",
+    # programming layers
+    "MiniMPI",
+    # measurement / observability
+    "Observability",
+    "Histogram",
+    "metrics_snapshot",
+    "write_metrics",
+    "export_perfetto",
+    "describe_machine",
+    "__version__",
+]

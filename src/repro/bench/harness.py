@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Callable, Dict, Generator, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import repro
 from repro.core.blocktransfer import BlockTransferExperiment, TransferResult

@@ -12,7 +12,7 @@ numeric tables.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 #: glyphs assigned to series in order.
 GLYPHS = "123456789"

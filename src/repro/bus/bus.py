@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, List, Optional
 
-from repro.bus.ops import BusOpType, BusTransaction
+from repro.bus.ops import BusTransaction
 from repro.bus.snoop import BusSlave, Snooper, SnoopResult
 from repro.common.config import BusConfig
 from repro.common.errors import AddressError, SimulationError

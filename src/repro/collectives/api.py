@@ -30,6 +30,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.events import Event
 
 
+def _record(comm, api: "ApApi", name: str, t0: float) -> None:
+    """Latency sample for one collective call (no-op for bare comms)."""
+    stats = getattr(comm, "stats", None)
+    if stats is not None:
+        stats.accumulator(name).add(api.now - t0)
+
+
 def _pack(value: int) -> bytes:
     return value.to_bytes(8, "big", signed=True)
 
@@ -41,6 +48,7 @@ def _unpack(data: bytes) -> int:
 def tree_barrier(comm, api: "ApApi", plan: TreePlan, tag: int
                  ) -> Generator["Event", None, None]:
     """Gather-up then release-down along the tree: O(depth) critical path."""
+    t0 = api.now
     me = comm.rank
     for child in plan.children[me]:
         yield from comm.recv(api, src=child, tag=tag)
@@ -49,11 +57,13 @@ def tree_barrier(comm, api: "ApApi", plan: TreePlan, tag: int
         yield from comm.recv(api, src=plan.parent[me], tag=tag)
     for child in plan.children[me]:
         yield from comm._send(api, child, b"d", tag)
+    _record(comm, api, "coll.tree_barrier_ns", t0)
 
 
 def tree_bcast(comm, api: "ApApi", data: Optional[bytes], plan: TreePlan,
                tag: int) -> Generator["Event", None, bytes]:
     """Pipeline ``data`` down the tree from ``plan.root``."""
+    t0 = api.now
     me = comm.rank
     if me == plan.root:
         assert data is not None, "root must supply the data"
@@ -62,6 +72,7 @@ def tree_bcast(comm, api: "ApApi", data: Optional[bytes], plan: TreePlan,
                                                 tag=tag)
     for child in plan.children[me]:
         yield from comm._send(api, child, data, tag)
+    _record(comm, api, "coll.tree_bcast_ns", t0)
     return data
 
 
@@ -74,14 +85,17 @@ def tree_reduce(comm, api: "ApApi", value: int,
     so the fold is deterministic and — on a binomial tree — equals the
     ascending-rank fold even for non-commutative ``op``.
     """
+    t0 = api.now
     me = comm.rank
     acc = value
     for child in plan.children[me]:
         _src, _tag, data = yield from comm.recv(api, src=child, tag=tag)
         acc = op(acc, _unpack(data))
     if me == plan.root:
+        _record(comm, api, "coll.tree_reduce_ns", t0)
         return acc
     yield from comm._send(api, plan.parent[me], _pack(acc), tag)
+    _record(comm, api, "coll.tree_reduce_ns", t0)
     return None
 
 
@@ -95,11 +109,13 @@ def rd_allreduce(comm, api: "ApApi", value: int,
     always goes on the left, so associative non-commutative operators
     still fold in a deterministic (if not strictly ascending) order.
     """
+    t0 = api.now
     me = comm.rank
     if sched.is_extra(me):
         partner = me - sched.pow2
         yield from comm._send(api, partner, _pack(value), tag)
         _src, _tag, data = yield from comm.recv(api, src=partner, tag=tag)
+        _record(comm, api, "coll.rd_allreduce_ns", t0)
         return _unpack(data)
     acc = value
     extra = sched.extra_partner(me)
@@ -113,6 +129,7 @@ def rd_allreduce(comm, api: "ApApi", value: int,
         acc = op(acc, theirs) if peer > me else op(theirs, acc)
     if extra is not None:
         yield from comm._send(api, extra, _pack(acc), tag)
+    _record(comm, api, "coll.rd_allreduce_ns", t0)
     return acc
 
 
@@ -124,6 +141,7 @@ def tree_gather(comm, api: "ApApi", data: bytes, plan: TreePlan, tag: int
     subtree's items) per tree edge; fragmentation in the point-to-point
     layer handles arbitrary sizes.
     """
+    t0 = api.now
     me = comm.rank
     blob = _pack_item(me, data)
     for child in plan.children[me]:
@@ -131,12 +149,14 @@ def tree_gather(comm, api: "ApApi", data: bytes, plan: TreePlan, tag: int
         blob += sub
     if me != plan.root:
         yield from comm._send(api, plan.parent[me], blob, tag)
+        _record(comm, api, "coll.tree_gather_ns", t0)
         return None
     parts: List[Optional[bytes]] = [None] * comm.size
     for rank, item in _unpack_items(blob):
         parts[rank] = item
     if any(p is None for p in parts):
         raise ProgramError("gather blob did not cover every rank")
+    _record(comm, api, "coll.tree_gather_ns", t0)
     return parts  # type: ignore[return-value]
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional
 
 from repro.common.errors import ConfigError
 from repro.common.units import KB, MB, is_power_of_two, mbps_to_ns_per_byte, mhz_to_ns
@@ -345,11 +345,23 @@ class MachineConfig:
     firmware: FirmwareCostConfig = field(default_factory=FirmwareCostConfig)
     #: seed for any randomized choices (e.g. fat-tree up-link spreading).
     seed: int = 0
+    #: load the shipped sP firmware image at machine assembly (tests that
+    #: install firmware piecemeal turn this off).
+    install_firmware: bool = True
+    #: S-COMA home node per covered line (None = round-robin by page).
+    scoma_home_of: Optional[List[int]] = None
 
     def validate(self) -> "MachineConfig":
         """Check cross-field consistency; returns self for chaining."""
         if self.n_nodes < 1:
             raise ConfigError("need at least one node")
+        if self.scoma_home_of is not None:
+            bad = [h for h in self.scoma_home_of
+                   if not (0 <= h < self.n_nodes)]
+            if bad:
+                raise ConfigError(
+                    f"scoma_home_of names nonexistent nodes: {bad[:4]}"
+                )
         self.ap.validate()
         self.sp.validate()
         self.bus.validate()
@@ -384,6 +396,8 @@ class MachineConfig:
             niu=dataclasses.replace(self.niu),
             network=dataclasses.replace(self.network),
             firmware=dataclasses.replace(self.firmware),
+            scoma_home_of=(None if self.scoma_home_of is None
+                           else list(self.scoma_home_of)),
         )
         return dataclasses.replace(dup, **overrides) if overrides else dup
 

@@ -34,8 +34,8 @@ discusses qualitatively.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Generator, List
 
 from repro.common.errors import ProgramError
 from repro.core.machine import StarTVoyager

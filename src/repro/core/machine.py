@@ -15,14 +15,21 @@ the library touches starts here::
 
     procs = [machine.spawn(n, hello) for n in range(2)]
     machine.run()
+
+One validated :class:`~repro.common.config.MachineConfig` fully
+describes a machine — including whether the shipped firmware image is
+loaded (``install_firmware``) and the S-COMA home map
+(``scoma_home_of``).  Measurement goes through :meth:`metrics` (the
+schema-versioned snapshot) and the :class:`~repro.obs.Observability`
+facade at :attr:`obs`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Generator, List, Optional, Union
 
 from repro.common.config import MachineConfig, default_config
-from repro.common.errors import ConfigError
 from repro.net.packet import PRIORITY_HIGH, PRIORITY_LOW
 from repro.net.network import ArcticNetwork
 from repro.niu.niu import (
@@ -32,11 +39,16 @@ from repro.niu.niu import (
 )
 from repro.niu.translation import TranslationEntry
 from repro.node.node import NodeBoard
+from repro.obs.core import Observability
 from repro.sim.engine import Engine
 from repro.sim.process import Process
 from repro.sim.stats import StatsRegistry
 from repro.sim.trace import Tracer
 from repro.firmware import install_default_firmware
+
+#: sentinel distinguishing "not passed" from an explicit value in the
+#: deprecated constructor kwargs.
+_UNSET = object()
 
 
 class StarTVoyager:
@@ -45,23 +57,39 @@ class StarTVoyager:
     def __init__(
         self,
         config: Optional[Union[MachineConfig, int]] = None,
-        install_firmware: bool = True,
-        scoma_home_of: Optional[List[int]] = None,
+        install_firmware: Any = _UNSET,
+        scoma_home_of: Any = _UNSET,
     ) -> None:
         if config is None:
             config = default_config()
         elif isinstance(config, int):
             config = default_config(n_nodes=config)
+        # deprecated loose kwargs: fold into the config object so one
+        # validated MachineConfig keeps describing the whole machine
+        if install_firmware is not _UNSET or scoma_home_of is not _UNSET:
+            warnings.warn(
+                "StarTVoyager(install_firmware=..., scoma_home_of=...) is "
+                "deprecated; set the fields on MachineConfig instead "
+                "(e.g. default_config(install_firmware=False))",
+                DeprecationWarning, stacklevel=2,
+            )
+            overrides = {}
+            if install_firmware is not _UNSET:
+                overrides["install_firmware"] = bool(install_firmware)
+            if scoma_home_of is not _UNSET:
+                overrides["scoma_home_of"] = scoma_home_of
+            config = config.copy(**overrides)
         config.validate()
         self.config = config
         self.engine = Engine()
         self.stats = StatsRegistry(self.engine)
         self.tracer = Tracer(self.engine)
+        self.obs = Observability(self)
         self.network: Optional[ArcticNetwork] = None
         if config.n_nodes > 1:
             self.network = ArcticNetwork(
                 self.engine, config.network, config.n_nodes,
-                seed=config.seed, stats=self.stats,
+                seed=config.seed, stats=self.stats, tracer=self.tracer,
             )
         self.nodes: List[NodeBoard] = [
             NodeBoard(
@@ -72,9 +100,10 @@ class StarTVoyager:
             for i in range(config.n_nodes)
         ]
         self._install_translation()
-        if install_firmware:
+        if config.install_firmware:
             for node in self.nodes:
-                install_default_firmware(node, config.n_nodes, scoma_home_of)
+                install_default_firmware(node, config.n_nodes,
+                                         config.scoma_home_of)
         for node in self.nodes:
             node.start()
 
@@ -144,8 +173,23 @@ class StarTVoyager:
 
     # -- measurement ---------------------------------------------------------------------
 
+    def metrics(self, include_config: bool = True) -> dict:
+        """The machine's schema-versioned metrics snapshot.
+
+        Counters, accumulators with p50/p90/p99 percentiles, busy times,
+        and per-node aP/sP occupancy — see
+        :mod:`repro.obs.snapshot` for the exact schema.
+        """
+        return self.obs.snapshot(include_config=include_config)
+
     def occupancies(self, node: int, window_ns: Optional[float] = None) -> dict:
-        """aP and sP busy fractions on one node."""
+        """Deprecated: read ``metrics()["occupancy"]`` instead."""
+        warnings.warn(
+            "StarTVoyager.occupancies() is deprecated; use "
+            "machine.metrics()['occupancy'] (or the node busy trackers "
+            "directly for explicit windows)",
+            DeprecationWarning, stacklevel=2,
+        )
         board = self.nodes[node]
         return {
             "ap": board.ap.busy.occupancy(window_ns),
@@ -153,5 +197,12 @@ class StarTVoyager:
         }
 
     def report(self) -> dict:
-        """Flat snapshot of every registered statistic."""
+        """Deprecated: use :meth:`metrics` (or ``machine.stats.report()``
+        for the legacy flat view)."""
+        warnings.warn(
+            "StarTVoyager.report() is deprecated; use machine.metrics() "
+            "for the schema-versioned snapshot or machine.stats.report() "
+            "for the flat legacy view",
+            DeprecationWarning, stacklevel=2,
+        )
         return self.stats.report()

@@ -30,8 +30,8 @@ from repro.niu.commands import (
     CmdWriteDram,
 )
 from repro.niu.msgformat import FLAG_RAW, FLAG_TAGON, HEADER_BYTES, MsgHeader
-from repro.niu.niu import SP_TX_GENERAL, SP_TX_PROTOCOL
-from repro.niu.queues import BANK_S, QueueKind
+from repro.niu.niu import SP_TX_GENERAL
+from repro.niu.queues import BANK_S
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.niu.sp import ServiceProcessor

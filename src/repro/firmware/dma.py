@@ -30,12 +30,7 @@ from repro.common.errors import FirmwareError
 from repro.firmware import proto
 from repro.firmware.base import fw_wait, register_msg_handler
 from repro.niu.clssram import CLS_RW
-from repro.niu.commands import (
-    LOCAL_CMDQ_1,
-    CmdBlockRead,
-    CmdBlockTx,
-    CmdNotify,
-)
+from repro.niu.commands import LOCAL_CMDQ_1, CmdBlockRead, CmdBlockTx
 from repro.niu.queues import BANK_A
 
 if TYPE_CHECKING:  # pragma: no cover

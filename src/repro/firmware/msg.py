@@ -27,7 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Generator, Tuple
 
-from repro.common.errors import FirmwareError
 from repro.firmware.base import fw_dram_write
 from repro.niu.msgformat import ENTRY_BYTES, encode_rx_header
 

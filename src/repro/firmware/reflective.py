@@ -70,7 +70,6 @@ class ReflectiveWindowHandler(BusHandler):
         return None
 
     def _apply_local(self, txn: BusTransaction) -> None:
-        node = self.ctrl
         # write-through into the local DRAM backing (the claimed tenure
         # replaced the memory controller's)
         self._dram.poke(txn.addr, txn.data)  # type: ignore[arg-type]

@@ -27,7 +27,7 @@ Mechanics per node:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, List, Tuple
+from typing import TYPE_CHECKING, Generator, List
 
 from repro.bus.ops import BusOpType, BusTransaction
 from repro.bus.snoop import SnoopResult
@@ -36,8 +36,7 @@ from repro.firmware import proto
 from repro.firmware.base import fw_dram_read, register_msg_handler
 from repro.mem.address import Region
 from repro.niu.abiu import BusHandler
-from repro.niu.commands import LOCAL_CMDQ_0, CmdBusOp, CmdCall, CmdForward, \
-    CmdNotify, CmdWriteDram
+from repro.niu.commands import LOCAL_CMDQ_0, CmdBusOp, CmdForward, CmdNotify, CmdWriteDram
 from repro.niu.diffunit import DiffUnit
 
 if TYPE_CHECKING:  # pragma: no cover

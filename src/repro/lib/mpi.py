@@ -157,6 +157,7 @@ class MpiRank:
         self.size = mpi.size
         self.port = BasicPort(mpi.machine.node(node), mpi.tx_index,
                               mpi.rx_logical)
+        self.stats = self.port.stats
         #: out-of-order arrivals waiting for a matching recv.
         self._mailbox: Dict[Tuple[int, int], List[bytes]] = {}
         #: partially reassembled messages: (src, tag) -> (total, bytearray, got)
@@ -179,7 +180,9 @@ class MpiRank:
                 f"user tags are 0..{_COLL_TAG_BASE - 1:#x}; "
                 f"{_COLL_TAG_BASE:#x}..0xffff is reserved for collectives"
             )
+        t0 = api.now
         yield from self._send(api, dst, data, tag)
+        self.stats.accumulator("mpi.send_ns").add(api.now - t0)
 
     def _send(self, api: "ApApi", dst: int, data: bytes, tag: int
               ) -> Generator["Event", None, None]:
@@ -215,9 +218,11 @@ class MpiRank:
 
         ``None`` wildcards match any source / any tag, in arrival order.
         """
+        t0 = api.now
         while True:
             hit = self._match(src, tag)
             if hit is not None:
+                self.stats.accumulator("mpi.recv_ns").add(api.now - t0)
                 return hit
             frag_src, payload = yield from self.port.recv(api)
             self._absorb(frag_src, payload)
@@ -283,6 +288,11 @@ class MpiRank:
 
     def barrier(self, api: "ApApi") -> Generator["Event", None, None]:
         """All ranks synchronize."""
+        t0 = api.now
+        yield from self._do_barrier(api)
+        self.stats.accumulator("mpi.barrier_ns").add(api.now - t0)
+
+    def _do_barrier(self, api: "ApApi") -> Generator["Event", None, None]:
         seq, tag = self._next_coll()
         if self.size == 1:
             return
@@ -305,6 +315,13 @@ class MpiRank:
     def bcast(self, api: "ApApi", data: Optional[bytes], root: int = 0
               ) -> Generator["Event", None, bytes]:
         """Broadcast ``data`` from ``root``; every rank returns it."""
+        t0 = api.now
+        out = yield from self._do_bcast(api, data, root)
+        self.stats.accumulator("mpi.bcast_ns").add(api.now - t0)
+        return out
+
+    def _do_bcast(self, api: "ApApi", data: Optional[bytes], root: int = 0
+                  ) -> Generator["Event", None, bytes]:
         seq, tag = self._next_coll()
         if self.size == 1:
             return data or b""
@@ -342,6 +359,13 @@ class MpiRank:
         Variable-size data does not fit the firmware combining protocol,
         so ``algo="nic"`` routes gather over the host-side tree.
         """
+        t0 = api.now
+        out = yield from self._do_gather(api, data, root)
+        self.stats.accumulator("mpi.gather_ns").add(api.now - t0)
+        return out
+
+    def _do_gather(self, api: "ApApi", data: bytes, root: int = 0
+                   ) -> Generator["Event", None, Optional[List[bytes]]]:
         seq, tag = self._next_coll()
         if self.mpi.algo in ("tree", "nic"):
             return (yield from coll_api.tree_gather(
@@ -367,6 +391,14 @@ class MpiRank:
         flat path folds in *arrival* order, so non-commutative callables
         are rank-order sensitive there.
         """
+        t0 = api.now
+        out = yield from self._do_reduce(api, value, root, op)
+        self.stats.accumulator("mpi.reduce_ns").add(api.now - t0)
+        return out
+
+    def _do_reduce(self, api: "ApApi", value: int, root: int = 0,
+                   op: OpSpec = None
+                   ) -> Generator["Event", None, Optional[int]]:
         seq, tag = self._next_coll()
         name, fn = _resolve_op(op)
         algo = self.mpi.algo
@@ -403,6 +435,13 @@ class MpiRank:
     def allreduce(self, api: "ApApi", value: int, op: OpSpec = None
                   ) -> Generator["Event", None, int]:
         """Reduce with ``op`` (default sum); every rank returns the result."""
+        t0 = api.now
+        out = yield from self._do_allreduce(api, value, op)
+        self.stats.accumulator("mpi.allreduce_ns").add(api.now - t0)
+        return out
+
+    def _do_allreduce(self, api: "ApApi", value: int, op: OpSpec = None
+                      ) -> Generator["Event", None, int]:
         algo = self.mpi.algo
         if algo == "tree":
             seq, tag = self._next_coll()

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional, Tuple
 
-from repro.common.errors import ProgramError, ProtectionViolation, QueueError
+from repro.common.errors import ProgramError, ProtectionViolation
 from repro.mem.address import ASRAM_BASE, NIU_CTL_BASE
 from repro.niu.handlers import pointer_offset
 from repro.niu.msgformat import (
@@ -55,6 +55,7 @@ class BasicPort:
                  rx_logical: int) -> None:
         niu = node.niu
         self.node = node
+        self.stats = node.stats
         self.tx: QueueState = niu.ctrl.tx_queues[tx_index]
         if self.tx.bank != BANK_A:
             raise ProgramError("BasicPort needs an aSRAM-backed tx queue")
@@ -112,6 +113,7 @@ class BasicPort:
             hdr.tagon_offset = offset
             hdr.tagon_units = units
         hdr.validate()
+        t0 = api.now
         # wait for a free slot: re-read the consumer shadow while full
         while self._tx_producer - self._tx_known_consumer >= self.tx.depth:
             if not self.tx.enabled:
@@ -131,6 +133,7 @@ class BasicPort:
             self._tx_producer,
         )
         self.sent += 1
+        self.stats.accumulator("mp.basic.send_ns").add(api.now - t0)
 
     def stage_tagon(self, api: "ApApi", niu_offset: int, data: bytes
                     ) -> Generator["Event", None, Tuple[int, int]]:
@@ -169,6 +172,7 @@ class BasicPort:
         iteration; without it the uncached pointer loads would hammer the
         memory bus far harder than a real 604 polling loop can.
         """
+        t0 = api.now
         while True:
             producer = yield from api.load_u32(
                 self._ptr_addr(QueueKind.RX, self.rx.index, "producer")
@@ -176,7 +180,9 @@ class BasicPort:
             if producer != self._rx_consumer:
                 break
             yield from api.compute(poll_insns)
-        return (yield from self._take(api))
+        msg = yield from self._take(api)
+        self.stats.accumulator("mp.basic.recv_ns").add(api.now - t0)
+        return msg
 
     def _take(self, api: "ApApi"
               ) -> Generator["Event", None, Tuple[int, bytes]]:

@@ -47,7 +47,9 @@ def dma_write(
         raise ProgramError(f"DMA length must be positive, got {length}")
     request = pack_dma_req(src_addr, dst_node, dst_addr, length,
                            notify_queue, mode)
+    t0 = api.now
     yield from port.send(api, vdst_for(api.node_id, SP_SERVICE_QUEUE), request)
+    port.stats.accumulator("mp.dma.request_ns").add(api.now - t0)
 
 
 class DmaNotifier:
@@ -60,7 +62,9 @@ class DmaNotifier:
     def wait(self, api: "ApApi"
              ) -> Generator["Event", None, Tuple[int, int]]:
         """Block until a notification arrives; returns (src_node, length)."""
+        t0 = api.now
         src, payload = yield from self.port.recv(api)
+        self.port.stats.accumulator("mp.dma.notify_wait_ns").add(api.now - t0)
         length = int.from_bytes(payload[:4], "big") if len(payload) >= 4 else 0
         return src, length
 

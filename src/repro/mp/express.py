@@ -34,6 +34,7 @@ class ExpressPort:
 
     def __init__(self, node: "NodeBoard") -> None:
         self.node = node
+        self.stats = node.stats
         self._tx_base = NIU_CTL_BASE + EXPRESS_TX_OFF
         self._rx_addr = NIU_CTL_BASE + EXPRESS_RX_OFF
         self.sent = 0
@@ -54,8 +55,10 @@ class ExpressPort:
         addr = (self._tx_base
                 + (vdst << EXPRESS_VDST_SHIFT)
                 + (padded[0] << EXPRESS_BYTE_SHIFT))
+        t0 = api.now
         yield from api.store(addr, padded[1:5])
         self.sent += 1
+        self.stats.accumulator("mp.express.send_ns").add(api.now - t0)
 
     def recv(self, api: "ApApi"
              ) -> Generator["Event", None, Optional[Tuple[int, bytes]]]:
@@ -73,8 +76,10 @@ class ExpressPort:
         ``poll_insns`` is the per-iteration loop overhead (see
         :meth:`repro.mp.basic.BasicPort.recv`).
         """
+        t0 = api.now
         while True:
             msg = yield from self.recv(api)
             if msg is not None:
+                self.stats.accumulator("mp.express.recv_ns").add(api.now - t0)
                 return msg
             yield from api.compute(poll_insns)

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Generator, List
 
 from repro.common.config import NetworkConfig
 from repro.common.errors import NetworkError
-from repro.net.packet import PRIORITY_HIGH, Packet
+from repro.net.packet import Packet
 from repro.sim.resource import PriorityResource
 from repro.sim.store import Store
 

@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
     from repro.sim.events import Event
     from repro.sim.stats import StatsRegistry
+    from repro.sim.trace import Tracer
 
 
 class NetworkPort:
@@ -60,6 +61,11 @@ class NetworkPort:
             raise NetworkError(f"{pkt!r} has no route; translation must supply one")
         pkt.inject_time = self.engine.now
         self.injected += 1
+        tr = self.network.tracer
+        if tr is not None and tr.active:
+            tr.instant("net.inject", source=f"port{self.node}",
+                       node=self.node, track="net", dst=pkt.dst,
+                       bytes=len(pkt.payload))
         yield from self._to_switch.send(pkt)
 
     def receive(self, priority: int) -> "Event":
@@ -68,12 +74,16 @@ class NetworkPort:
 
         def _count(_ev) -> None:
             self.delivered += 1
+            pkt = _ev.value
             stats = self.network.stats
             if stats is not None:
-                pkt = _ev.value
                 stats.accumulator("net.latency_ns").add(
                     self.engine.now - pkt.inject_time
                 )
+            tr = self.network.tracer
+            if tr is not None and tr.active:
+                tr.instant("net.deliver", source=f"port{self.node}",
+                           node=self.node, track="net", src=pkt.src)
 
         ev.add_callback(_count)
         return ev
@@ -93,11 +103,13 @@ class ArcticNetwork:
         n_nodes: int,
         seed: int = 0,
         stats: Optional["StatsRegistry"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.engine = engine
         self.config = config
         self.n_nodes = n_nodes
         self.stats = stats
+        self.tracer = tracer
         self.topology = FatTreeTopology(n_nodes, radix=config.radix, seed=seed)
         self.switches: Dict[Tuple[int, int], ArcticSwitch] = {}
         self.links: List[Link] = []

@@ -17,7 +17,7 @@ Block Transfer Approach 3.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator
 
 from repro.bus.ops import BusOpType, BusTransaction
 from repro.common.errors import FirmwareError, QueueError

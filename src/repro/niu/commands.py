@@ -14,8 +14,8 @@ the right serialization time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
 
 from repro.common.errors import QueueError
 

@@ -30,20 +30,8 @@ from repro.common.config import MachineConfig
 from repro.common.errors import ProtectionViolation, QueueError, TranslationError
 from repro.mem.sram import PORT_IBUS, DualPortedSRAM
 from repro.net.packet import PRIORITY_HIGH, PRIORITY_LOW, Packet, PacketKind
-from repro.niu.commands import (
-    Command,
-    CommandQueue,
-    LOCAL_CMDQ_0,
-    REMOTE_CMDQ,
-    REMOTE_CMDQ_HIGH,
-)
-from repro.niu.msgformat import (
-    FLAG_RAW,
-    HEADER_BYTES,
-    MsgHeader,
-    decode_header,
-    encode_rx_header,
-)
+from repro.niu.commands import Command, CommandQueue, REMOTE_CMDQ, REMOTE_CMDQ_HIGH
+from repro.niu.msgformat import HEADER_BYTES, MsgHeader, decode_header, encode_rx_header
 from repro.niu.queues import BANK_A, BANK_S, FullPolicy, QueueKind, QueueState
 from repro.niu.sysregs import SystemRegisters
 from repro.niu.translation import RxQueueCache, TranslationTable
@@ -55,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
     from repro.sim.events import Event
     from repro.sim.stats import StatsRegistry
+    from repro.sim.trace import Tracer
 
 
 class Ctrl:
@@ -70,6 +59,7 @@ class Ctrl:
         net_port: Optional["NetworkPort"],
         table_base: int,
         stats: "StatsRegistry",
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -78,6 +68,7 @@ class Ctrl:
         self.ssram = ssram
         self.net_port = net_port
         self.stats = stats
+        self.tracer = tracer
         self.name = f"ctrl{node_id}"
         ncfg = config.niu
 
@@ -258,6 +249,10 @@ class Ctrl:
             yield from self._send_from_queue(q)
 
     def _send_from_queue(self, q: QueueState) -> Generator["Event", None, None]:
+        tr = self.tracer
+        span = (tr.span("niu.tx", source=self.name, node=self.node_id,
+                        track=f"txq{q.index}")
+                if tr is not None and tr.active else None)
         slot = q.slot_offset(q.consumer)
         raw = yield from self.sram_read(q.bank, slot, HEADER_BYTES)
         try:
@@ -265,6 +260,8 @@ class Ctrl:
             hdr.validate()
         except QueueError as exc:
             self._violation(q, f"malformed header: {exc}")
+            if span is not None:
+                span.end(violation=True)
             return
         payload = b""
         if hdr.length:
@@ -276,6 +273,8 @@ class Ctrl:
             q.advance_consumer(q.consumer + 1)
             q.messages += 1
             yield from self._shadow(q)
+        if span is not None:
+            span.end(bytes=hdr.length)
 
     def _transmit(
         self, q: QueueState, hdr: MsgHeader, payload: bytes
@@ -398,20 +397,30 @@ class Ctrl:
         Performs the cache-tag-style residency lookup; misses and
         overflow divert to the firmware-serviced miss queue.
         """
+        tr = self.tracer
+        span = (tr.span("niu.rx", source=self.name, node=self.node_id,
+                        track=f"rxq{logical_q}", src=src_node)
+                if tr is not None and tr.active else None)
         slot = self.rx_cache.lookup(logical_q)
         if slot is None:
             yield from self._to_missq(("miss", logical_q, src_node, payload, flags))
+            if span is not None:
+                span.end(outcome="miss")
             return
         q = self.rx_queues[slot]
         while q.is_full:
             if q.full_policy is FullPolicy.DROP:
                 q.drops += 1
                 self.stats.counter(f"{self.name}.rx_drops").incr()
+                if span is not None:
+                    span.end(outcome="drop")
                 return
             if q.full_policy is FullPolicy.DIVERT:
                 yield from self._to_missq(
                     ("overflow", logical_q, src_node, payload, flags)
                 )
+                if span is not None:
+                    span.end(outcome="overflow")
                 return
             # BLOCK: wait for the consumer to free space (can deadlock the
             # network — the paper says as much; that is the experiment)
@@ -426,6 +435,8 @@ class Ctrl:
         q.messages += 1
         self.stats.counter(f"{self.name}.msgs_delivered").incr()
         yield from self._shadow(q)
+        if span is not None:
+            span.end(bytes=len(payload))
         if q.interrupt_on_arrival:
             self.post_sp_event(("rxmsg", slot, q.logical_id))
 

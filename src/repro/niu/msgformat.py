@@ -33,7 +33,7 @@ transfer command packets = 8+80 <= 88).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.common.errors import QueueError
 

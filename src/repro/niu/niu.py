@@ -35,7 +35,7 @@ queue to a node or queue subset.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.common.config import MachineConfig
 from repro.common.errors import ConfigError
@@ -73,6 +73,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import NetworkPort
     from repro.sim.engine import Engine
     from repro.sim.stats import StatsRegistry
+    from repro.sim.trace import Tracer
 
 # -- queue plan constants ------------------------------------------------------
 
@@ -155,6 +156,7 @@ class NIU:
         stats: "StatsRegistry",
         dram_scoma_base: int,
         dram_scoma_bytes: int,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -162,6 +164,7 @@ class NIU:
         self.bus = bus
         self.address_map = address_map
         self.stats = stats
+        self.tracer = tracer
         ncfg = config.niu
         sram_ns = ncfg.sram_cycles * config.bus.cycle_ns
 
@@ -175,7 +178,7 @@ class NIU:
         # translation table occupies the bottom of sSRAM
         table_base = self._alloc_s.take(256 * 8)
         self.ctrl = Ctrl(engine, config, node_id, self.asram, self.ssram,
-                         net_port, table_base, stats)
+                         net_port, table_base, stats, tracer=tracer)
 
         # block units + command processors
         self.ctrl.block_read_unit = BlockReadUnit(self.ctrl)
@@ -192,7 +195,8 @@ class NIU:
         self.abiu = ABiu(engine, bus, self.ctrl, node_id)
         self.sbiu = SBiu(engine, config, self.ctrl, self.ssram, node_id)
         self.sp = ServiceProcessor(engine, config.sp, config.firmware,
-                                   self.sbiu, self.ctrl, stats, node_id)
+                                   self.sbiu, self.ctrl, stats, node_id,
+                                   tracer=tracer)
 
         self._build_queues()
         self._install_windows(dram_scoma_base, dram_scoma_bytes)

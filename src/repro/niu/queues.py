@@ -13,7 +13,7 @@ slot of entry ``n`` is ``base + (n % depth) * entry_bytes``.
 from __future__ import annotations
 
 import enum
-from typing import Optional, Set
+from typing import Optional
 
 from repro.common.errors import QueueError
 from repro.niu.msgformat import ENTRY_BYTES

@@ -14,7 +14,7 @@ color experimental results").
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Tuple
 
 from repro.common.config import FirmwareCostConfig, ProcessorConfig
 from repro.common.errors import FirmwareError
@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
     from repro.sim.events import Event
     from repro.sim.stats import StatsRegistry
+    from repro.sim.trace import Tracer
 
 #: a firmware handler: ``handler(sp, event) -> generator``.
 FirmwareHandler = Callable[["ServiceProcessor", Tuple], Generator]
@@ -42,6 +43,7 @@ class ServiceProcessor:
         ctrl: "Ctrl",
         stats: "StatsRegistry",
         node_id: int,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.engine = engine
         self.proc = proc_config
@@ -50,6 +52,7 @@ class ServiceProcessor:
         self.ctrl = ctrl
         self.stats = stats
         self.node_id = node_id
+        self.tracer = tracer
         self.name = f"sp{node_id}"
         self.busy = stats.busy_tracker(f"{self.name}.busy")
         self._handlers: Dict[str, FirmwareHandler] = {}
@@ -94,12 +97,16 @@ class ServiceProcessor:
         self.engine.process(self._kernel(), name=f"{self.name}.kernel")
 
     def _kernel(self):
+        tr = self.tracer
         while True:
             event = yield self.sbiu.events.get()  # idle while waiting
             self.busy.begin()
+            kind = event[0]
+            span = (tr.span(f"sp.{kind}", source=self.name,
+                            node=self.node_id, track="sP")
+                    if tr is not None and tr.active else None)
             try:
                 yield self.compute(self.fw.dispatch_insns)
-                kind = event[0]
                 handler = self._handlers.get(kind)
                 if handler is None:
                     self.unhandled += 1
@@ -109,6 +116,8 @@ class ServiceProcessor:
                 self.dispatched += 1
             finally:
                 self.busy.end()
+                if span is not None:
+                    span.end()
 
     # -- diagnostics ---------------------------------------------------------------------
 

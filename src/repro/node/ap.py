@@ -102,6 +102,7 @@ class AppProcessor:
         self.config: MachineConfig = node.config
         self.name = f"ap{node.node_id}"
         self.busy = node.stats.busy_tracker(f"{self.name}.busy")
+        self.tracer = node.tracer
         self.loads = 0
         self.stores = 0
 
@@ -127,6 +128,13 @@ class AppProcessor:
         if size <= 0:
             raise ProgramError(f"access size must be positive, got {size}")
         region = self.node.address_map.lookup(addr, size)
+        # hot path: `active` is a plain attribute, so with tracing off the
+        # whole observability layer costs one attribute load here
+        tr = self.tracer
+        span = (tr.span("ap.store" if data is not None else "ap.load",
+                        source=self.name, node=self.node.node_id,
+                        track="aP", addr=addr, size=size)
+                if tr is not None and tr.active else None)
         self.busy.begin()
         try:
             if data is None:
@@ -137,6 +145,8 @@ class AppProcessor:
             return None
         finally:
             self.busy.end()
+            if span is not None:
+                span.end()
 
     # -- read paths -------------------------------------------------------------
 

@@ -48,6 +48,7 @@ class NodeBoard:
         self.config = config
         self.node_id = node_id
         self.stats = stats
+        self.tracer = tracer
 
         dram_size = config.dram.size_bytes
         quarter = dram_size // 4
@@ -77,7 +78,8 @@ class NodeBoard:
         self.l2 = SnoopingL2(engine, config.l2, self.bus, self.dram,
                              name=f"l2.{node_id}")
         self.niu = NIU(engine, config, node_id, self.bus, self.address_map,
-                       net_port, stats, self.scoma_base, self.scoma_bytes)
+                       net_port, stats, self.scoma_base, self.scoma_bytes,
+                       tracer=tracer)
         self.ap = AppProcessor(self)
 
     # -- lifecycle ----------------------------------------------------------

@@ -1,0 +1,101 @@
+"""The machine-wide observability facade.
+
+One object, hung off :class:`~repro.core.machine.StarTVoyager` as
+``machine.obs``, gathers the measurement surface the paper's evaluation
+methodology needs:
+
+* category-gated typed tracing (``obs.enable("niu", "mp")``,
+  ``obs.span("niu.tx", node=0, track="txq0")``) over the machine's
+  :class:`~repro.sim.trace.Tracer`;
+* periodic queue-depth/occupancy sampling (:meth:`start_sampler`);
+* exporters: :meth:`snapshot` (schema-versioned metrics dict),
+  :meth:`export_metrics` (its JSON file twin), and
+  :meth:`export_perfetto` (Chrome/Perfetto timeline).
+
+Everything here is off until asked for: with no categories enabled and
+no sampler started, the only machine-wide cost is the always-on
+counters/accumulators the simulator has carried since the seed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.obs.perfetto import export_perfetto
+from repro.obs.sampler import QueueSampler
+from repro.obs.snapshot import metrics_snapshot, write_metrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import StarTVoyager
+    from repro.sim.trace import Span
+
+
+class Observability:
+    """Tracing, sampling, and export for one machine instance."""
+
+    def __init__(self, machine: "StarTVoyager") -> None:
+        self.machine = machine
+        self.tracer = machine.tracer
+        self.samplers: List[QueueSampler] = []
+
+    # -- tracing control ---------------------------------------------------
+
+    def enable(self, *categories: str) -> "Observability":
+        """Enable trace categories ("*" = everything); chainable."""
+        self.tracer.enable(*categories)
+        return self
+
+    def disable(self, *categories: str) -> None:
+        """Disable trace categories ("*" clears everything)."""
+        self.tracer.disable(*categories)
+
+    def wants(self, category: str) -> bool:
+        """Hot-path guard: would records of ``category`` be kept?"""
+        return self.tracer.wants(category)
+
+    @property
+    def active(self) -> bool:
+        """True when any trace category is enabled."""
+        return self.tracer.active
+
+    def span(self, kind: str, source: str = "", node: Optional[int] = None,
+             track: str = "", **args: Any) -> "Span":
+        """Open a typed span (see :meth:`repro.sim.trace.Tracer.span`)."""
+        return self.tracer.span(kind, source=source, node=node, track=track,
+                                **args)
+
+    def instant(self, kind: str, source: str = "",
+                node: Optional[int] = None, track: str = "",
+                **args: Any) -> None:
+        """Record a zero-duration typed occurrence."""
+        self.tracer.instant(kind, source=source, node=node, track=track,
+                            **args)
+
+    # -- sampling ----------------------------------------------------------
+
+    def start_sampler(self, period_ns: float = 1000.0,
+                      max_samples: int = 100_000) -> QueueSampler:
+        """Start a queue-depth/occupancy sampler (see its caveats)."""
+        sampler = QueueSampler(self.machine, period_ns, max_samples)
+        self.samplers.append(sampler)
+        return sampler.start()
+
+    def stop_samplers(self) -> None:
+        """Stop every sampler started through this facade."""
+        for sampler in self.samplers:
+            sampler.stop()
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self, include_config: bool = True) -> Dict[str, Any]:
+        """Schema-versioned metrics snapshot (see :mod:`repro.obs.snapshot`)."""
+        return metrics_snapshot(self.machine, include_config=include_config)
+
+    def export_metrics(self, path: str,
+                       include_config: bool = True) -> str:
+        """Write :meth:`snapshot` as JSON; returns the path."""
+        return write_metrics(path, self.snapshot(include_config))
+
+    def export_perfetto(self, path: Optional[str] = None) -> Dict[str, Any]:
+        """Build (and optionally write) the Perfetto trace document."""
+        return export_perfetto(self.machine, path, samplers=self.samplers)

@@ -1,0 +1,93 @@
+"""Schema-versioned metrics snapshots.
+
+One machine-wide, machine-readable measurement format, so every
+benchmark emits the same shape and plotting/regression tooling can stop
+scraping stdout.  The schema:
+
+====================  =====================================================
+key                   contents
+====================  =====================================================
+``schema``            ``"startv.metrics"`` — the format's name
+``schema_version``    integer, bumped on incompatible layout changes
+``now_ns``            simulated time of the snapshot
+``n_nodes``           machine size
+``sim``               engine health: ``events_executed``, ``pending_events``
+``counters``          flat name -> int (monotonic event counts)
+``accumulators``      name -> {n, mean, min, max, total, stddev,
+                      p50, p90, p99} (percentiles from the log-bucketed
+                      :class:`~repro.obs.histogram.Histogram`)
+``busy_ns``           busy-tracker name -> accumulated busy nanoseconds
+``occupancy``         node id (str) -> {"ap": fraction, "sp": fraction}
+``config``            flat machine configuration (``MachineConfig.describe``)
+====================  =====================================================
+
+Extra keys may appear next to these (benchmarks add ``benchmark``/
+``points``); consumers must ignore keys they do not know.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import StarTVoyager
+
+#: current layout version of the snapshot dict below.
+METRICS_SCHEMA = "startv.metrics"
+METRICS_SCHEMA_VERSION = 1
+
+
+def metrics_snapshot(machine: "StarTVoyager",
+                     include_config: bool = True) -> Dict[str, Any]:
+    """One machine's complete measurement state as a JSON-ready dict."""
+    stats = machine.stats
+    accumulators: Dict[str, Any] = {}
+    for name, acc in sorted(stats._accumulators.items()):
+        row = acc.hist.to_dict()
+        row["stddev"] = acc.stddev
+        accumulators[name] = row
+    snapshot: Dict[str, Any] = {
+        "schema": METRICS_SCHEMA,
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "now_ns": machine.now,
+        "n_nodes": machine.config.n_nodes,
+        "sim": {
+            "events_executed": machine.engine.events_executed,
+            "pending_events": machine.engine.pending_events,
+        },
+        "counters": {name: c.value
+                     for name, c in sorted(stats._counters.items())},
+        "accumulators": accumulators,
+        "busy_ns": {name: b.current()
+                    for name, b in sorted(stats._busy.items())},
+        "occupancy": {
+            str(node.node_id): {
+                "ap": node.ap.busy.occupancy(),
+                "sp": node.sp.busy.occupancy(),
+            }
+            for node in machine.nodes
+        },
+    }
+    if include_config:
+        snapshot["config"] = machine.config.describe()
+    return snapshot
+
+
+def write_metrics(path: str, snapshot: Dict[str, Any]) -> str:
+    """Write one snapshot (or snapshot-carrying document) as JSON."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True, default=_jsonable)
+        fh.write("\n")
+    return path
+
+
+def _jsonable(value: Any) -> Any:
+    """Last-resort JSON coercion (infinities from empty accumulators)."""
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)

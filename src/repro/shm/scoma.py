@@ -13,10 +13,9 @@ region setup (home assignment + initial data) and address helpers.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, List, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.common.errors import ProgramError
-from repro.niu.clssram import CLS_RW
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.machine import StarTVoyager

@@ -30,6 +30,9 @@ class Engine:
         self._crashes: List[Tuple[Process, BaseException]] = []
         #: processes whose failure should abort run() even if unjoined.
         self.strict = True
+        #: total callbacks executed — the observability layer's measure
+        #: of how much simulation work a run cost.
+        self.events_executed = 0
 
     # -- clock -----------------------------------------------------------
 
@@ -109,6 +112,7 @@ class Engine:
             if time < self._now:  # pragma: no cover - heap invariant
                 raise SimulationError("time went backwards")
             self._now = time
+            self.events_executed += 1
             fn()
             if self._crashes and self.strict:
                 proc, exc = self._crashes[0]
@@ -136,6 +140,7 @@ class Engine:
                 raise SimulationError(f"time limit {limit} hit before {ev!r}")
             time, _seq, fn = heapq.heappop(self._heap)
             self._now = time
+            self.events_executed += 1
             fn()
             if self._crashes and self.strict:
                 proc, exc = self._crashes[0]

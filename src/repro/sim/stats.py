@@ -15,6 +15,7 @@ import math
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.common.errors import SimulationError
+from repro.obs.histogram import Histogram
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
@@ -43,9 +44,11 @@ class Counter:
 
 
 class Accumulator:
-    """Streaming mean/min/max/variance over float samples (Welford)."""
+    """Streaming mean/min/max/variance over float samples (Welford),
+    with a log-bucketed :class:`~repro.obs.histogram.Histogram` riding
+    along so every latency site reports p50/p90/p99 for free."""
 
-    __slots__ = ("name", "n", "_mean", "_m2", "min", "max", "total")
+    __slots__ = ("name", "n", "_mean", "_m2", "min", "max", "total", "hist")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -55,6 +58,7 @@ class Accumulator:
         self.min = math.inf
         self.max = -math.inf
         self.total = 0.0
+        self.hist = Histogram(name)
 
     def add(self, x: float) -> None:
         """Record one sample."""
@@ -67,6 +71,7 @@ class Accumulator:
             self.min = x
         if x > self.max:
             self.max = x
+        self.hist.add(x)
 
     @property
     def mean(self) -> float:
@@ -82,6 +87,25 @@ class Accumulator:
     def stddev(self) -> float:
         """Population standard deviation."""
         return math.sqrt(self.variance)
+
+    def percentile(self, q: float) -> float:
+        """Percentile estimate (bucket-resolution; 0.0 when empty)."""
+        return self.hist.percentile(q)
+
+    @property
+    def p50(self) -> float:
+        """Median estimate."""
+        return self.hist.p50
+
+    @property
+    def p90(self) -> float:
+        """90th-percentile estimate."""
+        return self.hist.p90
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile estimate."""
+        return self.hist.p99
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -159,15 +183,31 @@ class StatsRegistry:
         return self._busy[name]
 
     def report(self) -> Dict[str, float]:
-        """Flat snapshot of every statistic, for experiment logs."""
+        """Flat snapshot of every statistic, for experiment logs.
+
+        Key scheme (one flat namespace, ``<aspect>.<statistic name>``):
+
+        * ``count.<name>``   — counter value;
+        * ``n.<name>``       — accumulator sample count (0 when empty, so
+          a registered-but-never-hit site is visible in the log);
+        * ``mean.<name>``, ``min.<name>``, ``max.<name>``,
+          ``total.<name>`` — accumulator sample statistics (only when
+          ``n > 0``; an empty accumulator has no meaningful extremes);
+        * ``busy_ns.<name>`` — busy-tracker accumulated busy time.
+
+        Percentiles live in the richer :func:`repro.obs.metrics_snapshot`
+        schema, not in this flat view.
+        """
         out: Dict[str, float] = {}
         for name, c in sorted(self._counters.items()):
             out[f"count.{name}"] = float(c.value)
         for name, a in sorted(self._accumulators.items()):
+            out[f"n.{name}"] = float(a.n)
             if a.n:
                 out[f"mean.{name}"] = a.mean
+                out[f"min.{name}"] = a.min
                 out[f"max.{name}"] = a.max
-                out[f"n.{name}"] = float(a.n)
+                out[f"total.{name}"] = a.total
         for name, b in sorted(self._busy.items()):
             out[f"busy_ns.{name}"] = b.current()
         return out

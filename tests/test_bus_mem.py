@@ -5,7 +5,6 @@ import pytest
 from repro.bus.bus import MemoryBus
 from repro.bus.ops import BusOpType, BusTransaction
 from repro.bus.snoop import Snooper, SnoopResult
-from repro.common.config import default_config
 from repro.common.errors import AddressError, SimulationError
 from repro.mem.address import AccessMode, AddressMap, Region
 from repro.mem.dram import DRAM
@@ -244,7 +243,7 @@ def test_sram_ports_independent(engine):
     times = {}
 
     def user(port, name):
-        data = yield from sram.read(port, 0, 8)
+        yield from sram.read(port, 0, 8)
         times[name] = engine.now
 
     engine.process(user(PORT_BUS, "bus"))

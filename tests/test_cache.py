@@ -185,7 +185,6 @@ def test_own_transactions_not_snooped(rig):
 
 def test_straddling_access_rejected(rig):
     engine, _, _, l2 = rig
-    from repro.common.errors import ProgramError
 
     def body():
         yield from l2.load(0x1E, 8)  # crosses the 32-byte boundary

@@ -13,7 +13,6 @@ from repro.niu.clssram import CLS_RW
 from repro.niu.commands import (
     LOCAL_CMDQ_0,
     LOCAL_CMDQ_1,
-    REMOTE_CMDQ,
     CmdBlockRead,
     CmdBlockTx,
     CmdBusOp,

@@ -10,7 +10,7 @@ import pytest
 
 import repro
 from repro.collectives.firmware import ensure_collectives
-from repro.collectives.plan import binomial_tree, kary_tree
+from repro.collectives.plan import kary_tree
 from repro.common.errors import ProgramError, SimulationError
 from repro.lib.mpi import MiniMPI
 

@@ -7,7 +7,6 @@ from repro.mp.basic import BasicPort
 from repro.niu.msgformat import FLAG_RAW, MsgHeader, encode_header
 from repro.niu.niu import SP_PROTOCOL_QUEUE, vdst_for
 from repro.niu.queues import FullPolicy, QueueKind
-from repro.niu.translation import TranslationEntry
 
 
 @pytest.fixture
@@ -111,8 +110,8 @@ def test_tx_priority_arbitration(m2):
     p_high = BasicPort(node, 1, 1)  # will get priority 0
     ctrl.sysregs.write("tx_priority.0", 5)
     ctrl.sysregs.write("tx_priority.1", 0)
-    port1a = BasicPort(m2.node(1), 0, 0)
-    port1b = BasicPort(m2.node(1), 1, 1)
+    BasicPort(m2.node(1), 0, 0)
+    BasicPort(m2.node(1), 1, 1)
 
     def stuff(api):
         # compose into both queues before CTRL can drain either: the

@@ -5,7 +5,6 @@ bit-identical — the paper's whole premise is "keeping all other
 parameters constant", and scheduling noise would break it.
 """
 
-import pytest
 
 import repro
 from repro.core.blocktransfer import BlockTransferExperiment
@@ -62,7 +61,7 @@ def test_statistics_identical():
     def run():
         machine = repro.StarTVoyager(repro.default_config(n_nodes=2))
         BlockTransferExperiment(machine).run(2, 2048)
-        return machine.report()
+        return machine.stats.report()
 
     assert run() == run()
 

@@ -8,7 +8,6 @@ composition an example uses.
 
 import importlib.util
 import io
-import sys
 from contextlib import redirect_stdout
 from pathlib import Path
 

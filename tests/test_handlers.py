@@ -3,7 +3,6 @@
 import pytest
 
 import repro
-from repro.bus.ops import BusOpType, BusTransaction
 from repro.bus.snoop import SnoopResult
 from repro.common.errors import SimulationError
 from repro.mem.address import AccessMode, NIU_CTL_BASE, Region
@@ -139,7 +138,6 @@ def test_express_fifo_order(m2):
 
 
 def test_express_payload_cap(m2):
-    from repro.common.errors import ProgramError
     from repro.mp.express import ExpressPort
     e = ExpressPort(m2.node(0))
 

@@ -63,32 +63,34 @@ def test_run_until_limit():
     assert m.now == 50_000.0
 
 
-def test_occupancies_shape():
+def test_occupancy_in_metrics():
     m = repro.StarTVoyager(2)
 
     def prog(api):
         yield from api.compute(10_000)
 
     m.run_until(m.spawn(0, prog))
-    occ = m.occupancies(0)
+    occ = m.metrics()["occupancy"]["0"]
     assert 0.0 < occ["ap"] <= 1.0
     assert occ["sp"] >= 0.0
 
 
-def test_report_contains_bus_stats():
+def test_metrics_contains_bus_stats():
     m = repro.StarTVoyager(2)
 
     def prog(api):
         yield from api.store(0x100, b"x" * 8)
 
     m.run_until(m.spawn(0, prog))
-    report = m.report()
-    assert report.get("count.bus0.txns", 0) >= 1
+    snap = m.metrics()
+    assert snap["schema"] == "startv.metrics"
+    assert snap["counters"].get("bus0.txns", 0) >= 1
 
 
 def test_firmware_optional():
-    m = repro.StarTVoyager(repro.default_config(n_nodes=2),
-                           install_firmware=False)
+    cfg = repro.default_config(n_nodes=2)
+    cfg.install_firmware = False
+    m = repro.StarTVoyager(cfg)
     # no firmware image: the sP has no handlers
     assert not m.node(0).sp._handlers
 

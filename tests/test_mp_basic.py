@@ -3,7 +3,6 @@
 import pytest
 
 import repro
-from repro.common.errors import ProgramError
 from repro.mp.basic import BasicPort
 from repro.niu.niu import vdst_for
 

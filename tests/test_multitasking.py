@@ -113,7 +113,6 @@ def test_violation_leaves_other_process_running(m2):
 
 def test_rx_consumer_also_protected(m2):
     _own(m2, 0, 0, 2, pid=7)
-    ctrl = m2.node(0).ctrl
     q = m2.node(0).niu.ap_rx_slot(2)
     base = NIU_CTL_BASE + PTR_WINDOW_OFF
 

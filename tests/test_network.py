@@ -3,7 +3,6 @@
 import pytest
 
 from repro.common.config import default_config
-from repro.common.errors import NetworkError
 from repro.net.link import Link
 from repro.net.network import ArcticNetwork
 from repro.net.packet import PRIORITY_HIGH, PRIORITY_LOW, Packet, PacketKind
@@ -40,7 +39,7 @@ def test_link_delivers_after_wire_latency(engine, config):
         yield from link.send(_pkt(0, 1, 0))
 
     def receiver():
-        pkt = yield link.receive(PRIORITY_LOW)
+        yield link.receive(PRIORITY_LOW)
         got.append(engine.now)
 
     engine.process(sender())
@@ -107,7 +106,7 @@ def test_link_priority_lanes_independent(engine, config):
         yield from link.send(_pkt(0, 1, 0, PRIORITY_HIGH))
 
     def high_receiver():
-        pkt = yield link.receive(PRIORITY_HIGH)
+        yield link.receive(PRIORITY_HIGH)
         got.append("high")
 
     engine.process(sender())

@@ -3,7 +3,6 @@
 import pytest
 
 import repro
-from repro.common.errors import ProgramError
 from repro.mem.address import ASRAM_BASE
 
 
@@ -45,7 +44,6 @@ def test_uncached_region_split_at_8(m2):
 def test_burst_region_mixes_bursts_and_singles(m2):
     niu = m2.node(0).niu
     off = niu.alloc_asram(128)
-    stats_before = m2.report().get("count.bus0.txns", 0)
 
     def prog(api):
         # 3 unaligned + 64 burst (2 lines) + 5 tail

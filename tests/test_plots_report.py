@@ -1,6 +1,5 @@
 """The ASCII figure renderer and the report CLI."""
 
-import pytest
 
 from repro.bench.plots import _fmt_size, figure3, figure4, render_figure
 from repro.core.blocktransfer import TransferResult

@@ -5,10 +5,9 @@ while an invalidation or recall is in flight must queue and replay, and
 the outcome must still be per-location coherent.
 """
 
-import pytest
 
 import repro
-from repro.niu.clssram import CLS_INVALID, CLS_RO, CLS_RW
+from repro.niu.clssram import CLS_RO, CLS_RW
 from repro.shm import ScomaRegion
 
 

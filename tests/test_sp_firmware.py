@@ -83,7 +83,6 @@ def test_fw_wait_excludes_occupancy(m2):
     results = {}
 
     def handler(sp_, event):
-        busy_before = sp_.busy.current()
         ev = m2.engine.timeout(50_000.0)
         yield from fw_wait(sp_, ev)
         results["accrued"] = None  # marker

@@ -169,7 +169,6 @@ def test_multiple_writers_merge(rig):
 
 def test_only_changed_words_travel(rig):
     machine, region, ports = rig
-    net_before = machine.network.total_packets_forwarded()
 
     def writer(api):
         yield from api.store(region.addr(0), b"x" * 8)  # 8 of 32 bytes

@@ -1,6 +1,5 @@
 """The synthetic workload generators (unit level)."""
 
-import pytest
 
 import repro
 from repro.bench.workloads import hotspot, mixed, pipeline, uniform_random
