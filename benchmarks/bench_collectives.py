@@ -15,14 +15,30 @@ curves are about growth rates, not absolute crossover at these sizes.
 
 Results also land in ``benchmarks/results/collectives.json`` via
 :func:`repro.bench.emit_json` for plotting.
+
+Also runnable directly, fanning the grid out over processes with
+byte-identical output (every point is an independent seeded machine)::
+
+    python benchmarks/bench_collectives.py --jobs 4
 """
 
 import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _p in (_ROOT, os.path.join(_ROOT, "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
 
 import pytest
 
 from benchmarks.conftest import record
-from repro.bench import collective_latency, emit_json
+from repro.bench import (
+    collective_latency,
+    collective_metrics_sweep,
+    emit_json,
+    print_table,
+)
 
 HEADER = ["collective", "algo"] + [f"{n} nodes (us)" for n in (2, 4, 8, 16, 32)]
 NODES = [2, 4, 8, 16, 32]
@@ -92,3 +108,42 @@ def _emit():
         emit_json(os.path.join(os.path.dirname(__file__), "results",
                                "collectives.json"),
                   {"unit": "ns", "nodes": NODES, "series": _results})
+
+
+# ----------------------------------------------------------------------
+# direct CLI (parallel sweep)
+# ----------------------------------------------------------------------
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep (output is "
+                             "byte-identical for any value; default 1)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="back-to-back calls per point (default 2)")
+    parser.add_argument("--out", default=os.path.join(
+                            os.path.dirname(os.path.abspath(__file__)),
+                            "results", "collectives.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    points = collective_metrics_sweep(
+        ["barrier", "bcast", "allreduce"], NODES, ALGOS,
+        repeats=args.repeats, jobs=args.jobs)
+
+    series = {}
+    for p in points:
+        series.setdefault(p["collective"], {}).setdefault(
+            p["algo"], {})[p["n_nodes"]] = p["latency_ns"]
+    rows = [[name, algo] + [series[name][algo][n] / 1000.0 for n in NODES]
+            for name in series for algo in series[name]]
+    print_table("collective scaling (us)", HEADER, rows)
+    path = emit_json(args.out, {"unit": "ns", "nodes": NODES,
+                                "series": series})
+    print(f"results: {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,272 @@
+"""Experiment X-engine — simulation-kernel throughput microbenchmark.
+
+Everything else in ``benchmarks/`` measures *simulated* time; this file
+measures the **simulator itself**: how many scheduled events the kernel
+executes per wall-clock second, and how many payload bytes the full
+machine moves per wall-clock second.  It is the perf trajectory for the
+fast-path kernel work — run it before and after touching ``repro.sim``
+and compare.
+
+Three workloads:
+
+* ``timeout_storm``   — the pure kernel fast path: N processes doing
+  nothing but ``yield engine.timeout(d)``.  No machine, no payload;
+  this isolates heap + event + process-resume overhead.
+* ``store_traffic``   — producer/consumer pairs through bounded
+  :class:`~repro.sim.store.Store`\\ s: the put/get/callback path every
+  hardware FIFO in the model rides.
+* ``alltoall8``       — an 8-node machine where every node streams
+  Basic messages to every other node: the end-to-end events/sec and
+  bytes-moved/sec of the real data plane (SRAM, CTRL, network).
+
+Direct CLI (also the CI smoke job)::
+
+    python benchmarks/bench_engine.py --quick
+    python benchmarks/bench_engine.py --record-as pre_refactor
+
+Results merge into ``BENCH_engine.json`` (repo root by default) under
+``runs[<label>]``; when both ``pre_refactor`` and ``post_refactor``
+labels are present the document gains a ``speedup_events_per_s`` field —
+the number the fast-path refactor is gated on.
+"""
+
+import os
+import sys
+import time
+
+# script execution (`python benchmarks/bench_engine.py`) has only
+# benchmarks/ on sys.path; make the repo root and src/ importable
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _p in (_ROOT, os.path.join(_ROOT, "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+import json
+
+from repro.mp.basic import BasicPort
+from repro.niu.niu import vdst_for
+from repro.sim.engine import Engine
+from repro.sim.store import Store
+
+#: default artifact (repo root: this file is the perf trajectory).
+DEFAULT_OUT = os.path.join(_ROOT, "BENCH_engine.json")
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+
+def timeout_storm(n_procs: int = 50, steps: int = 2000) -> dict:
+    """Pure-kernel timeout churn; returns events/sec and ns/event."""
+    engine = Engine()
+
+    def proc(i):
+        delay = 1.0 + (i % 7)
+        for _ in range(steps):
+            yield engine.timeout(delay)
+
+    for i in range(n_procs):
+        engine.process(proc(i), name=f"storm{i}")
+    t0 = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - t0
+    return {
+        "events": engine.events_executed,
+        "wall_s": wall,
+        "events_per_s": engine.events_executed / wall,
+        "ns_per_event": wall / engine.events_executed * 1e9,
+    }
+
+
+def store_traffic(n_pairs: int = 10, items: int = 2000) -> dict:
+    """Bounded-store producer/consumer churn; returns events/sec."""
+    engine = Engine()
+
+    def producer(store):
+        for i in range(items):
+            yield store.put(i)
+            yield engine.timeout(1.0)
+
+    def consumer(store):
+        for _ in range(items):
+            yield store.get()
+            yield engine.timeout(1.0)
+
+    for p in range(n_pairs):
+        store = Store(engine, capacity=4, name=f"bench{p}")
+        engine.process(producer(store), name=f"prod{p}")
+        engine.process(consumer(store), name=f"cons{p}")
+    t0 = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - t0
+    return {
+        "events": engine.events_executed,
+        "wall_s": wall,
+        "events_per_s": engine.events_executed / wall,
+        "ns_per_event": wall / engine.events_executed * 1e9,
+    }
+
+
+def alltoall8(n_nodes: int = 8, msgs_per_peer: int = 2,
+              payload_bytes: int = 64) -> dict:
+    """Full-machine all-to-all Basic-message exchange.
+
+    Every node sends ``msgs_per_peer`` messages of ``payload_bytes`` to
+    every other node and receives everything addressed to it.  Returns
+    kernel events/sec plus the data-plane figure: payload bytes moved
+    end-to-end (DRAM-less Basic path: aP -> SRAM -> network -> SRAM ->
+    aP) per wall second.
+    """
+    import repro
+
+    machine = repro.StarTVoyager(repro.default_config(n_nodes=n_nodes))
+    ports = [BasicPort(machine.node(n), 0, 0) for n in range(n_nodes)]
+    payload = bytes(payload_bytes)
+    incoming = (n_nodes - 1) * msgs_per_peer
+
+    def worker(api, rank):
+        for round_no in range(msgs_per_peer):
+            for step in range(1, n_nodes):
+                dst = (rank + step) % n_nodes
+                yield from ports[rank].send(api, vdst_for(dst, 0), payload)
+        for _ in range(incoming):
+            yield from ports[rank].recv(api)
+
+    procs = [machine.spawn(n, worker, n) for n in range(n_nodes)]
+    t0 = time.perf_counter()
+    machine.run_all(procs, limit=1e12)
+    wall = time.perf_counter() - t0
+    total_payload = n_nodes * incoming * payload_bytes
+    events = machine.engine.events_executed
+    return {
+        "n_nodes": n_nodes,
+        "messages": n_nodes * incoming,
+        "payload_bytes_total": total_payload,
+        "events": events,
+        "wall_s": wall,
+        "events_per_s": events / wall,
+        "bytes_moved_per_s": total_payload / wall,
+        "sim_ns": machine.now,
+    }
+
+
+def measure(quick: bool = False, repeats: int = 3) -> dict:
+    """Run the three workloads (best-of-``repeats`` wall clock)."""
+    if quick:
+        repeats = 1
+        storm_args = dict(n_procs=20, steps=400)
+        store_args = dict(n_pairs=5, items=400)
+        a2a_args = dict(msgs_per_peer=1)
+    else:
+        storm_args = {}
+        store_args = {}
+        a2a_args = {}
+
+    def best(fn, **kwargs):
+        runs = [fn(**kwargs) for _ in range(repeats)]
+        return max(runs, key=lambda r: r["events_per_s"])
+
+    storm = best(timeout_storm, **storm_args)
+    store = best(store_traffic, **store_args)
+    a2a = best(alltoall8, **a2a_args)
+    return {
+        "timeout_storm": storm,
+        "store_traffic": store,
+        "alltoall8": a2a,
+        #: the headline gauge: pure-kernel event throughput.
+        "events_per_s": storm["events_per_s"],
+        "bytes_moved_per_s": a2a["bytes_moved_per_s"],
+        "quick": quick,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (collected with the rest of the benchmark suite)
+# ----------------------------------------------------------------------
+
+def test_engine_microbench(benchmark):
+    from benchmarks.conftest import record
+
+    results = benchmark.pedantic(measure, kwargs={"quick": True},
+                                 rounds=1, iterations=1)
+    record("engine kernel throughput",
+           ["workload", "events/s", "ns/event"],
+           ["timeout_storm", results["timeout_storm"]["events_per_s"],
+            results["timeout_storm"]["ns_per_event"]])
+    record("engine kernel throughput",
+           ["workload", "events/s", "ns/event"],
+           ["store_traffic", results["store_traffic"]["events_per_s"],
+            results["store_traffic"]["ns_per_event"]])
+    record("engine kernel throughput",
+           ["workload", "events/s", "ns/event"],
+           ["alltoall8", results["alltoall8"]["events_per_s"],
+            results["alltoall8"]["events_per_s"]])
+    assert results["events_per_s"] > 0
+    assert results["bytes_moved_per_s"] > 0
+
+
+# ----------------------------------------------------------------------
+# direct CLI
+# ----------------------------------------------------------------------
+
+def _merge(path: str, label: str, results: dict) -> dict:
+    """Fold one measurement into the trajectory document at ``path``."""
+    doc = {
+        "benchmark": "engine_kernel",
+        "schema": "startv.bench_engine",
+        "schema_version": 1,
+        "runs": {},
+    }
+    if os.path.exists(path):
+        with open(path) as fh:
+            doc.update(json.load(fh))
+    doc.setdefault("runs", {})[label] = results
+    pre = doc["runs"].get("pre_refactor")
+    post = doc["runs"].get("post_refactor")
+    if pre and post:
+        doc["speedup_events_per_s"] = (
+            post["events_per_s"] / pre["events_per_s"])
+        doc["speedup_bytes_moved_per_s"] = (
+            post["bytes_moved_per_s"] / pre["bytes_moved_per_s"])
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes, single repeat (CI smoke)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="trajectory JSON path (default BENCH_engine.json)")
+    parser.add_argument("--record-as", default="current",
+                        help="label for this run in the JSON document "
+                             "(pre_refactor / post_refactor / current)")
+    args = parser.parse_args(argv)
+
+    results = measure(quick=args.quick)
+    from repro.bench import print_table
+
+    rows = [
+        ["timeout_storm", f"{results['timeout_storm']['events_per_s']:,.0f}",
+         f"{results['timeout_storm']['ns_per_event']:.0f}", "-"],
+        ["store_traffic", f"{results['store_traffic']['events_per_s']:,.0f}",
+         f"{results['store_traffic']['ns_per_event']:.0f}", "-"],
+        ["alltoall8", f"{results['alltoall8']['events_per_s']:,.0f}", "-",
+         f"{results['alltoall8']['bytes_moved_per_s']:,.0f}"],
+    ]
+    print_table("engine kernel throughput (wall clock)",
+                ["workload", "events/s", "ns/event", "payload B/s"], rows)
+
+    doc = _merge(args.out, args.record_as, results)
+    print(f"\nrecorded as {args.record_as!r} in {args.out}")
+    if "speedup_events_per_s" in doc:
+        print(f"speedup (events/s, post/pre): "
+              f"{doc['speedup_events_per_s']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

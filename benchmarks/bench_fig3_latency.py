@@ -12,12 +12,15 @@ win as size grows, with 3 ahead of 2.
 Also runnable directly (no pytest) for machine-readable output::
 
     python benchmarks/bench_fig3_latency.py --emit-metrics
+    python benchmarks/bench_fig3_latency.py --jobs 4 --emit-metrics
     python benchmarks/bench_fig3_latency.py --trace --size 4096
 
 ``--emit-metrics`` writes the sweep with one schema-versioned
 ``machine.metrics()`` snapshot per data point (p50/p90/p99 included);
-``--trace`` renders one transfer as a Chrome/Perfetto trace_event file
-(open at ui.perfetto.dev).
+``--jobs N`` fans the grid out over N processes with byte-identical
+output (each point is an independent seeded simulation — see
+:func:`repro.bench.run_sweep`); ``--trace`` renders one transfer as a
+Chrome/Perfetto trace_event file (open at ui.perfetto.dev).
 """
 
 import os
@@ -33,9 +36,15 @@ for _p in (_ROOT, os.path.join(_ROOT, "src")):
 import pytest
 
 from benchmarks.conftest import record
-from repro.bench import FIG_SIZES, fresh_machine, print_table, run_block_transfer
+from repro.bench import (
+    FIG_SIZES,
+    block_transfer_metrics_sweep,
+    fresh_machine,
+    print_table,
+    run_block_transfer,
+)
 from repro.core.blocktransfer import BlockTransferExperiment
-from repro.obs import metrics_snapshot, write_metrics
+from repro.obs import write_metrics
 
 HEADER = ["approach", "size_B", "latency_us", "verified"]
 
@@ -74,24 +83,6 @@ def test_fig3_shape(benchmark):
 # direct CLI
 # ----------------------------------------------------------------------
 
-def _sweep_with_metrics(approaches, sizes):
-    """The Figure-3 grid, one fresh machine and metrics snapshot each."""
-    points = []
-    for approach in approaches:
-        for size in sizes:
-            machine = fresh_machine(2)
-            result = BlockTransferExperiment(machine).run(approach, size)
-            points.append({
-                "approach": approach,
-                "size_bytes": size,
-                "notify_latency_ns": result.notify_latency_ns,
-                "data_ready_latency_ns": result.data_ready_latency_ns,
-                "verified": result.verified,
-                "metrics": metrics_snapshot(machine, include_config=False),
-            })
-    return points
-
-
 def _traced_transfer(approach, size, path):
     """One transfer with full tracing on, rendered as a Perfetto file."""
     machine = fresh_machine(2)
@@ -118,11 +109,15 @@ def main(argv=None):
                         help="approach for --trace (default 3)")
     parser.add_argument("--size", type=int, default=4096,
                         help="transfer size for --trace (default 4096)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep (output is "
+                             "byte-identical for any value; default 1)")
     parser.add_argument("--out-dir", default=RESULTS_DIR,
                         help="artifact directory (default benchmarks/results)")
     args = parser.parse_args(argv)
 
-    points = _sweep_with_metrics((1, 2, 3), FIG_SIZES)
+    points = block_transfer_metrics_sweep((1, 2, 3), FIG_SIZES,
+                                          jobs=args.jobs)
     rows = [[f"A{p['approach']}", p["size_bytes"],
              p["notify_latency_ns"] / 1000.0, p["verified"]] for p in points]
     print_table("Figure 3: block transfer latency (us)", HEADER, rows)

@@ -4,7 +4,20 @@ The network must deliver what the paper assumes of it: per-link
 bandwidth near 160 MB/s for full packets, aggregate bandwidth scaling
 with node count under random traffic (fat-tree bisection), and the
 high network priority overtaking congested low-priority traffic.
+
+Also runnable directly; ``--jobs N`` fans the scenario grid out over
+processes with byte-identical output::
+
+    python benchmarks/bench_network.py --jobs 4
 """
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _p in (_ROOT, os.path.join(_ROOT, "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
 
 import pytest
 
@@ -184,3 +197,56 @@ def test_priority_overtakes_congestion(benchmark):
            ["priority overtaking", "high_arrival/low_backlog_drain",
             arrivals["high"] / arrivals["low_done"]])
     assert arrivals["high"] < arrivals["low_done"]
+
+
+# ----------------------------------------------------------------------
+# direct CLI (parallel sweep)
+# ----------------------------------------------------------------------
+
+def _network_point(spec):
+    """One sweep scenario -> a table row dict (module-level, picklable)."""
+    kind = spec[0]
+    if kind == "stream":
+        return {"scenario": "2-node stream", "metric": "wire MB/s",
+                "value": _stream()}
+    if kind == "random":
+        n_nodes = spec[1]
+        return {"scenario": f"random traffic, {n_nodes} nodes",
+                "metric": "aggregate MB/s",
+                "value": _random_traffic(n_nodes)}
+    if kind == "cut_through":
+        n_nodes = spec[1]
+        return {"scenario": f"{n_nodes}-node one-way 96B",
+                "metric": "store&fwd / cut-through ns",
+                "value": f"{_oneway(n_nodes, False):.0f} / "
+                         f"{_oneway(n_nodes, True):.0f}"}
+    raise ValueError(f"unknown scenario {spec!r}")
+
+
+def main(argv=None):
+    import argparse
+
+    from repro.bench import emit_json, print_table, run_sweep
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep (output is "
+                             "byte-identical for any value; default 1)")
+    parser.add_argument("--out", default=os.path.join(
+                            os.path.dirname(os.path.abspath(__file__)),
+                            "results", "network.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    specs = ([("stream",)]
+             + [("random", n) for n in (2, 4, 8, 16)]
+             + [("cut_through", n) for n in (2, 4, 16)])
+    rows = run_sweep(_network_point, specs, jobs=args.jobs)
+    print_table("Arctic network", HEADER,
+                [[r["scenario"], r["metric"], r["value"]] for r in rows])
+    path = emit_json(args.out, {"rows": rows})
+    print(f"results: {path}")
+
+
+if __name__ == "__main__":
+    main()

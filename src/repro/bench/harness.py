@@ -4,13 +4,19 @@ Shared by the ``benchmarks/`` targets so that every table and figure is
 regenerated through one code path: build a fresh machine per data point,
 run the workload, extract the simulated metrics, print the paper-style
 rows (and return them for programmatic checks).
+
+Sweeps fan out across processes through :func:`run_sweep`: every data
+point is an independent, fully seeded simulation, so the grid is
+embarrassingly parallel and the merged output is byte-identical for any
+job count (see the function's determinism contract).
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
-from typing import Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import repro
 from repro.core.blocktransfer import BlockTransferExperiment, TransferResult
@@ -18,6 +24,7 @@ from repro.lib.mpi import MiniMPI
 from repro.mp.basic import BasicPort
 from repro.mp.express import ExpressPort
 from repro.niu.niu import EXPRESS_RX_LOGICAL, vdst_for
+from repro.obs.snapshot import metrics_snapshot
 
 #: the size axis used for the Figure 3/4 sweeps.
 FIG_SIZES = [256, 1024, 4096, 16384, 65536]
@@ -73,6 +80,108 @@ def emit_json(path: str, payload: object) -> str:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path
+
+
+# ----------------------------------------------------------------------
+# deterministic parallel sweep runner
+# ----------------------------------------------------------------------
+#
+# Every sweep point builds its own machine from a picklable spec and
+# runs a fully seeded simulation, so points are independent and the grid
+# is embarrassingly parallel.  Determinism contract: ``run_sweep``
+# returns results in point order for *any* ``jobs`` value, and point
+# workers strip the one nondeterministic part of a metrics snapshot
+# (``sim.wall``, the wall-clock gauges) — the merged document is
+# byte-identical whether the grid ran serially or across N processes.
+
+def strip_wall(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop the wall-clock gauges from a metrics snapshot, in place.
+
+    ``sim.wall`` (host seconds, events/second) varies run to run with
+    machine load; everything else in the snapshot is simulated and
+    deterministic.  Sweep workers call this so merged sweep documents
+    compare byte-for-byte across job counts and hosts.
+    """
+    sim = snapshot.get("sim")
+    if isinstance(sim, dict):
+        sim.pop("wall", None)
+    return snapshot
+
+
+def run_sweep(worker: Callable[[Any], Any], points: Sequence[Any],
+              jobs: int = 1) -> List[Any]:
+    """Run ``worker(point)`` for every point, fanning out over processes.
+
+    ``worker`` must be a module-level (picklable) function that builds
+    everything it needs from its point — no shared machine, no closure
+    state.  Results come back in ``points`` order regardless of ``jobs``
+    (``Pool.map`` preserves input order), so the merged output of a
+    deterministic worker is identical for ``jobs=1`` and ``jobs=N``.
+
+    ``jobs <= 1`` runs inline in this process — same code path per
+    point, no pool overhead, and usable under debuggers.
+    """
+    points = list(points)
+    if jobs <= 1 or len(points) <= 1:
+        return [worker(p) for p in points]
+    # fork (where available) inherits the driver's sys.path, which keeps
+    # directly-executed benchmark scripts workable; spawn is the fallback
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() \
+        else "spawn"
+    ctx = multiprocessing.get_context(method)
+    with ctx.Pool(processes=min(jobs, len(points))) as pool:
+        return pool.map(worker, points, chunksize=1)
+
+
+def block_transfer_point(spec: Tuple[int, int]) -> Dict[str, Any]:
+    """One Figure-3/4 sweep point: ``(approach, size)`` -> result row.
+
+    The row carries the transfer's latencies plus the machine's full
+    (wall-stripped) metrics snapshot, so figure scripts get the
+    schema-versioned measurement without a second run.
+    """
+    approach, size = spec
+    machine = fresh_machine(2)
+    result = BlockTransferExperiment(machine).run(approach, size)
+    return {
+        "approach": approach,
+        "size_bytes": size,
+        "notify_latency_ns": result.notify_latency_ns,
+        "data_ready_latency_ns": result.data_ready_latency_ns,
+        "bandwidth_mb_s": result.bandwidth_mb_s,
+        "verified": result.verified,
+        "metrics": strip_wall(metrics_snapshot(machine,
+                                               include_config=False)),
+    }
+
+
+def block_transfer_metrics_sweep(approaches: Sequence[int],
+                                 sizes: Sequence[int] = FIG_SIZES,
+                                 jobs: int = 1) -> List[Dict[str, Any]]:
+    """The (approach x size) grid with per-point metrics snapshots."""
+    specs = [(a, s) for a in approaches for s in sizes]
+    return run_sweep(block_transfer_point, specs, jobs=jobs)
+
+
+def collective_point(spec: Tuple[str, int, str, int]) -> Dict[str, Any]:
+    """One collective-scaling point: ``(name, n_nodes, algo, repeats)``."""
+    name, n_nodes, algo, repeats = spec
+    return {
+        "collective": name,
+        "n_nodes": n_nodes,
+        "algo": algo,
+        "latency_ns": collective_latency(name, n_nodes, algo,
+                                         repeats=repeats),
+    }
+
+
+def collective_metrics_sweep(names: Sequence[str], nodes: Sequence[int],
+                             algos: Sequence[str], repeats: int = 2,
+                             jobs: int = 1) -> List[Dict[str, Any]]:
+    """The (collective x algo x node-count) grid, in spec order."""
+    specs = [(name, n, algo, repeats)
+             for name in names for algo in algos for n in nodes]
+    return run_sweep(collective_point, specs, jobs=jobs)
 
 
 # ----------------------------------------------------------------------

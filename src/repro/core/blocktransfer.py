@@ -209,7 +209,9 @@ class BlockTransferExperiment:
         while received < size:
             _src, payload = yield from port.recv(api)
             offset = int.from_bytes(payload[:4], "big")
-            data = payload[4:]
+            # zero-copy: the data rides as a view of the received payload
+            # down to the aP store (the landing write), which pins it
+            data = memoryview(payload)[4:]
             yield from api.store(self.dst_addr + offset, data)
             yield from api.compute(20)
             received += len(data)

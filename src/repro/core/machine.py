@@ -46,39 +46,24 @@ from repro.sim.stats import StatsRegistry
 from repro.sim.trace import Tracer
 from repro.firmware import install_default_firmware
 
-#: sentinel distinguishing "not passed" from an explicit value in the
-#: deprecated constructor kwargs.
-_UNSET = object()
-
-
 class StarTVoyager:
-    """A cluster of StarT-Voyager nodes on an Arctic fat tree."""
+    """A cluster of StarT-Voyager nodes on an Arctic fat tree.
+
+    Construction is fully described by one validated
+    :class:`~repro.common.config.MachineConfig` — including firmware
+    installation (``install_firmware``) and the S-COMA home map
+    (``scoma_home_of``), which earlier revisions accepted as loose
+    constructor kwargs.
+    """
 
     def __init__(
         self,
         config: Optional[Union[MachineConfig, int]] = None,
-        install_firmware: Any = _UNSET,
-        scoma_home_of: Any = _UNSET,
     ) -> None:
         if config is None:
             config = default_config()
         elif isinstance(config, int):
             config = default_config(n_nodes=config)
-        # deprecated loose kwargs: fold into the config object so one
-        # validated MachineConfig keeps describing the whole machine
-        if install_firmware is not _UNSET or scoma_home_of is not _UNSET:
-            warnings.warn(
-                "StarTVoyager(install_firmware=..., scoma_home_of=...) is "
-                "deprecated; set the fields on MachineConfig instead "
-                "(e.g. default_config(install_firmware=False))",
-                DeprecationWarning, stacklevel=2,
-            )
-            overrides = {}
-            if install_firmware is not _UNSET:
-                overrides["install_firmware"] = bool(install_firmware)
-            if scoma_home_of is not _UNSET:
-                overrides["scoma_home_of"] = scoma_home_of
-            config = config.copy(**overrides)
         config.validate()
         self.config = config
         self.engine = Engine()

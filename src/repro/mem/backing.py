@@ -4,9 +4,22 @@ Every memory in the model (DRAM, the NIU SRAMs, cache line frames) holds
 *real bytes* in a ``bytearray``.  That is what makes the test suite able
 to assert end-to-end data integrity: a DMA of random bytes must arrive
 byte-exact at the far node, through every queue, packet, and bus crossing.
+
+Two access styles coexist:
+
+* :meth:`read` / :meth:`write` — copying, for small control words and
+  call sites that keep the bytes around;
+* :meth:`view` / :meth:`write_parts` — the zero-copy data plane.  A view
+  is a read-only :class:`memoryview` aliasing the live backing store:
+  valid only until the next write to that range, so it must be
+  *materialized* (``bytes(view)``) at any protection boundary where the
+  data outlives the source — packet/command construction being the two
+  in this codebase (see DESIGN.md §"Zero-copy data plane").
 """
 
 from __future__ import annotations
+
+from typing import Iterable
 
 from repro.common.errors import AddressError
 
@@ -14,7 +27,7 @@ from repro.common.errors import AddressError
 class ByteBacking:
     """A bounds-checked window of raw bytes starting at offset zero."""
 
-    __slots__ = ("size", "_data", "name")
+    __slots__ = ("size", "_data", "_mv", "name")
 
     def __init__(self, size: int, name: str = "mem", fill: int = 0) -> None:
         if size <= 0:
@@ -24,6 +37,9 @@ class ByteBacking:
         self.size = size
         self.name = name
         self._data = bytearray([fill]) * size if fill else bytearray(size)
+        # One long-lived memoryview; slicing it is allocation-light and,
+        # unlike slicing the bytearray, copies nothing.
+        self._mv = memoryview(self._data)
 
     def _check(self, offset: int, length: int) -> None:
         if length < 0:
@@ -37,12 +53,41 @@ class ByteBacking:
     def read(self, offset: int, length: int) -> bytes:
         """Copy ``length`` bytes starting at ``offset``."""
         self._check(offset, length)
-        return bytes(self._data[offset : offset + length])
+        # bytes(mv-slice) copies once; slicing the bytearray would copy twice.
+        return bytes(self._mv[offset : offset + length])
+
+    def view(self, offset: int, length: int) -> memoryview:
+        """Read-only zero-copy window onto the live backing store.
+
+        The view aliases the underlying bytes: a later :meth:`write` to
+        the same range changes what the view yields.  Materialize with
+        ``bytes(view)`` before the data crosses a protection boundary
+        (packet payloads, command data) or before the source range can
+        be recycled (queue slots, double buffers).
+        """
+        self._check(offset, length)
+        return self._mv[offset : offset + length].toreadonly()
 
     def write(self, offset: int, data: bytes) -> None:
         """Store ``data`` at ``offset``."""
         self._check(offset, len(data))
         self._data[offset : offset + len(data)] = data
+
+    def write_parts(self, offset: int, parts: Iterable[bytes]) -> int:
+        """Scatter-gather store: land ``parts`` contiguously at ``offset``.
+
+        The landing-store counterpart of :meth:`view` — a receive path
+        can deposit ``[header, payload_view]`` in one call without first
+        concatenating them into a temporary.  Returns the bytes written.
+        """
+        pos = offset
+        data = self._data
+        for part in parts:
+            n = len(part)
+            self._check(pos, n)
+            data[pos : pos + n] = part
+            pos += n
+        return pos - offset
 
     def fill(self, offset: int, length: int, value: int = 0) -> None:
         """Set a range to one byte value."""

@@ -13,7 +13,7 @@ into aSRAM while the aP reads another message out.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Generator, Sequence
 
 from repro.common.errors import AddressError
 from repro.mem.backing import ByteBacking
@@ -71,6 +71,24 @@ class DualPortedSRAM:
         finally:
             res.release()
 
+    def read_view(
+        self, port: int, offset: int, length: int
+    ) -> Generator["Event", None, memoryview]:
+        """Timed zero-copy read through ``port`` (process fragment).
+
+        Same arbitration and beat timing as :meth:`read`, but returns a
+        read-only :class:`memoryview` aliasing the bank — valid only
+        until the range is overwritten (queue slots are recycled!), so
+        callers materialize at their protection boundary, not here.
+        """
+        res = self._ports[port]
+        yield res.request()
+        try:
+            yield self.engine.timeout(self._beats(length) * self.access_ns)
+            return self.backing.view(offset, length)
+        finally:
+            res.release()
+
     def write(
         self, port: int, offset: int, data: bytes
     ) -> Generator["Event", None, None]:
@@ -80,6 +98,25 @@ class DualPortedSRAM:
         try:
             yield self.engine.timeout(self._beats(len(data)) * self.access_ns)
             self.backing.write(offset, data)
+        finally:
+            res.release()
+
+    def write_parts(
+        self, port: int, offset: int, parts: Sequence[bytes]
+    ) -> Generator["Event", None, None]:
+        """Timed scatter-gather write through ``port`` (process fragment).
+
+        Timing-identical to :meth:`write` of the concatenated parts (one
+        arbitration, beats over the total length) without building the
+        concatenation — the receive path lands ``[header, payload_view]``
+        straight into the queue slot.
+        """
+        total = sum(len(p) for p in parts)
+        res = self._ports[port]
+        yield res.request()
+        try:
+            yield self.engine.timeout(self._beats(total) * self.access_ns)
+            self.backing.write_parts(offset, parts)
         finally:
             res.release()
 

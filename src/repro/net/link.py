@@ -69,12 +69,14 @@ class Link:
         yield self._credits[pkt.priority].get()
         yield self._tx.request(pkt.priority)
         buffer = self._buffers[pkt.priority]
-        serialize_ns = pkt.wire_bytes * self.config.ns_per_byte
+        # one size lookup per transmission; every charge below uses it
+        wire_bytes = pkt.wire_bytes
+        serialize_ns = wire_bytes * self.config.ns_per_byte
         try:
             if self.deliver_early:
                 # cut-through: the head proceeds after the header; the
                 # transmitter stays busy until the tail has left
-                header_ns = min(pkt.wire_bytes, self.config.header_bytes) \
+                header_ns = min(wire_bytes, self.config.header_bytes) \
                     * self.config.ns_per_byte
                 yield self.engine.timeout(header_ns)
                 self.engine._schedule_call(
@@ -91,7 +93,7 @@ class Link:
         finally:
             self._tx.release()
         self.packets_sent += 1
-        self.bytes_sent += pkt.wire_bytes
+        self.bytes_sent += wire_bytes
 
     # -- receiver side ----------------------------------------------------------
 

@@ -58,6 +58,7 @@ class Packet:
         "hop",
         "command",
         "header_bytes",
+        "wire_bytes",
         "inject_time",
         "meta",
     )
@@ -84,29 +85,29 @@ class Packet:
         self.dst = dst
         self.dst_queue = dst_queue
         self.priority = priority
-        self.payload = payload
+        # Packet construction is a protection boundary: the payload may
+        # arrive as a memoryview aliasing live SRAM (the zero-copy tx
+        # path), and the source slot can be recycled while this packet is
+        # in flight — materialize to immutable bytes exactly once, here.
+        self.payload = payload if type(payload) is bytes else bytes(payload)
         #: switch output ports, consumed one per hop.
         self.route = route or []
         self.hop = 0
         #: for COMMAND packets: the command object executed at the far NIU.
         self.command = command
         self.header_bytes = header_bytes
+        #: bytes this packet occupies on a link.  DATA packets carry
+        #: ``payload`` verbatim; COMMAND packets carry the command's wire
+        #: encoding, so size accounting asks the command itself.  Computed
+        #: once — every link hop charges serialization against it.
+        if command is not None:
+            self.wire_bytes = header_bytes + command.wire_bytes()
+        else:
+            self.wire_bytes = header_bytes + len(self.payload)
         #: stamped by the injecting port; used for latency statistics.
         self.inject_time: float = 0.0
         #: free-form bookkeeping (never consulted by the network itself).
         self.meta: Any = None
-
-    @property
-    def wire_bytes(self) -> int:
-        """Bytes this packet occupies on a link.
-
-        DATA packets carry ``payload`` verbatim; COMMAND packets carry the
-        command's wire encoding (opcode/address words plus any data), so
-        size accounting asks the command itself.
-        """
-        if self.command is not None:
-            return self.header_bytes + self.command.wire_bytes()
-        return self.header_bytes + len(self.payload)
 
     def next_port(self) -> int:
         """Consume and return the next routing digit."""

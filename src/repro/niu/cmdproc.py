@@ -85,7 +85,10 @@ class CommandProcessor:
             if getattr(cmd, "notify_sp", False):
                 ctrl.post_sp_event(("dram_write", cmd.addr, len(cmd.data)))
         elif isinstance(cmd, CmdWriteDramFromSram):
-            data = yield from ctrl.sram_read(cmd.bank, cmd.offset, cmd.length)
+            # zero-copy: the view rides to write_dram, which materializes
+            # at the IBus crossing (its protection boundary)
+            data = yield from ctrl.sram_read_view(cmd.bank, cmd.offset,
+                                                  cmd.length)
             yield from write_dram(ctrl, cmd.dram_addr, data)
         elif isinstance(cmd, CmdReadDram):
             data = yield from read_dram(ctrl, cmd.addr, cmd.length)
@@ -133,6 +136,12 @@ def write_dram(ctrl: "Ctrl", addr: int, data: bytes
     hardware's bus sequencer performs.
     """
     line = ctrl.config.bus.line_bytes
+    # Protection boundary: the data leaves SRAM here and crosses the IBus
+    # into the aBIU, so a zero-copy view materializes to immutable bytes
+    # exactly once (the source SRAM may be recycled while the per-line bus
+    # transactions below are still in flight).
+    if type(data) is not bytes:
+        data = bytes(data)
     # the data crosses the IBus from SRAM/RxU into the aBIU
     yield ctrl.ibus.request()
     try:
@@ -140,19 +149,23 @@ def write_dram(ctrl: "Ctrl", addr: int, data: bytes
         yield ctrl.engine.timeout(ctrl.op_ns + beats * ctrl.config.bus.cycle_ns)
     finally:
         ctrl.ibus.release()
+    # slices of the immutable copy ride each bus transaction without
+    # further copying (the landing store copies into DRAM/cache frames)
+    mv = memoryview(data)
+    total = len(data)
     off = 0
     master = f"niu{ctrl.node_id}"
-    while off < len(data):
+    while off < total:
         a = addr + off
-        remaining = len(data) - off
+        remaining = total - off
         if a % line == 0 and remaining >= line:
             txn = BusTransaction(BusOpType.WRITE_LINE, a, line,
-                                 data[off : off + line], master=master)
+                                 mv[off : off + line], master=master)
             off += line
         else:
             step = min(8 - (a % 8), remaining)
             txn = BusTransaction(BusOpType.WRITE, a, step,
-                                 data[off : off + step], master=master)
+                                 mv[off : off + step], master=master)
             off += step
         yield from ctrl.abiu_issue(txn)
 
@@ -161,7 +174,7 @@ def read_dram(ctrl: "Ctrl", addr: int, length: int
               ) -> Generator["Event", None, bytes]:
     """Read ``length`` bytes of aP DRAM through aBIU bus mastering."""
     line = ctrl.config.bus.line_bytes
-    out = bytearray()
+    parts = []
     off = 0
     master = f"niu{ctrl.node_id}"
     while off < length:
@@ -174,7 +187,7 @@ def read_dram(ctrl: "Ctrl", addr: int, length: int
             step = min(8 - (a % 8), remaining)
             txn = BusTransaction(BusOpType.READ, a, step, master=master)
         yield from ctrl.abiu_issue(txn)
-        out += txn.data
+        parts.append(txn.data)
         off += step
     # the data crosses the IBus on its way into SRAM/TxU
     yield ctrl.ibus.request()
@@ -183,7 +196,9 @@ def read_dram(ctrl: "Ctrl", addr: int, length: int
         yield ctrl.engine.timeout(ctrl.op_ns + beats * ctrl.config.bus.cycle_ns)
     finally:
         ctrl.ibus.release()
-    return bytes(out)
+    # single gather of the per-transaction results (was: bytearray append
+    # per transaction plus a final bytes() copy)
+    return b"".join(parts)
 
 
 # ----------------------------------------------------------------------
@@ -254,7 +269,10 @@ class BlockTxUnit:
             off = 0
             while off < cmd.length:
                 chunk = min(BLOCK_TX_CHUNK, cmd.length - off)
-                data = yield from ctrl.sram_read(cmd.bank, cmd.offset + off, chunk)
+                # zero-copy chunk pickup; CmdWriteDram construction is the
+                # protection boundary and materializes the view
+                data = yield from ctrl.sram_read_view(cmd.bank,
+                                                      cmd.offset + off, chunk)
                 wcmd = CmdWriteDram(cmd.dst_addr + off, data,
                                     set_cls_state=cmd.cls_state)
                 wcmd.notify_sp = cmd.notify_sp_each  # type: ignore[attr-defined]

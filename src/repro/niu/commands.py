@@ -54,6 +54,13 @@ class CmdWriteDram(Command):
     #: Approach 4: poke the destination sP after the write lands.
     notify_sp: bool = False
 
+    def __post_init__(self) -> None:
+        # Protection boundary: the command may be handed a zero-copy view
+        # of SRAM whose slot is recycled while the command is in flight —
+        # pin the payload as immutable bytes exactly once, here.
+        if type(self.data) is not bytes:
+            self.data = bytes(self.data)
+
     def wire_bytes(self) -> int:
         return 8 + len(self.data)
 

@@ -154,6 +154,19 @@ class Ctrl:
             self.ibus.release()
         return data
 
+    def sram_read_view(self, bank: int, offset: int, size: int
+                       ) -> Generator["Event", None, memoryview]:
+        """Zero-copy :meth:`sram_read`: same IBus arbitration and timing,
+        returns a read-only view of the bank (valid until the range is
+        overwritten — materialize before it can be recycled)."""
+        yield self.ibus.request()
+        try:
+            yield self.engine.timeout(self.op_ns)
+            data = yield from self._bank(bank).read_view(PORT_IBUS, offset, size)
+        finally:
+            self.ibus.release()
+        return data
+
     def sram_write(self, bank: int, offset: int, data: bytes
                    ) -> Generator["Event", None, None]:
         """Write SRAM across the IBus (CTRL-mediated, timed)."""
@@ -161,6 +174,17 @@ class Ctrl:
         try:
             yield self.engine.timeout(self.op_ns)
             yield from self._bank(bank).write(PORT_IBUS, offset, data)
+        finally:
+            self.ibus.release()
+
+    def sram_write_parts(self, bank: int, offset: int, parts: Tuple[bytes, ...]
+                         ) -> Generator["Event", None, None]:
+        """Scatter-gather :meth:`sram_write`: timing-identical to writing
+        the concatenation, without building it."""
+        yield self.ibus.request()
+        try:
+            yield self.engine.timeout(self.op_ns)
+            yield from self._bank(bank).write_parts(PORT_IBUS, offset, parts)
         finally:
             self.ibus.release()
 
@@ -254,7 +278,7 @@ class Ctrl:
                         track=f"txq{q.index}")
                 if tr is not None and tr.active else None)
         slot = q.slot_offset(q.consumer)
-        raw = yield from self.sram_read(q.bank, slot, HEADER_BYTES)
+        raw = yield from self.sram_read_view(q.bank, slot, HEADER_BYTES)
         try:
             hdr = decode_header(raw)
             hdr.validate()
@@ -265,7 +289,11 @@ class Ctrl:
             return
         payload = b""
         if hdr.length:
-            payload = yield from self.sram_read(
+            # Zero-copy: the payload rides as a view of the queue slot all
+            # the way to Packet construction (where it materializes) or to
+            # the loopback landing store.  Safe because the slot is not
+            # recycled until advance_consumer below, after _transmit.
+            payload = yield from self.sram_read_view(
                 q.bank, slot + HEADER_BYTES, hdr.length
             )
         yield from self._transmit(q, hdr, payload)
@@ -294,21 +322,25 @@ class Ctrl:
         else:
             index = q.translate_vdst(hdr.vdst)
             try:
-                # the table entry crosses the IBus like any SRAM read
-                entry_raw = yield from self.sram_read(
+                # the table entry crosses the IBus like any SRAM read;
+                # timing only (lookup below decodes the same bytes), so a
+                # view avoids the copy entirely
+                entry_raw = yield from self.sram_read_view(
                     BANK_S, self.table._offset(index), 8
                 )
-                del entry_raw  # timing only; decode below is the same bytes
+                del entry_raw
                 entry = self.table.lookup(index)
             except TranslationError as exc:
                 self._violation(q, str(exc))
                 return
             dst_node, dst_queue, pri = entry.dst_node, entry.dst_queue, entry.priority
         if hdr.has_tagon:
-            tag = yield from self.sram_read(
+            tag = yield from self.sram_read_view(
                 hdr.tagon_bank, hdr.tagon_offset, hdr.tagon_bytes
             )
-            payload = payload + tag
+            # gathering two SRAM regions into one payload is the one
+            # unavoidable copy on the TagOn path (join accepts views)
+            payload = b"".join((payload, tag))
         hdr.src_node = self.node_id
         self.stats.counter(f"{self.name}.msgs_sent").incr()
         yield from self._emit_data(dst_node, dst_queue, payload, pri)
@@ -403,7 +435,8 @@ class Ctrl:
                 if tr is not None and tr.active else None)
         slot = self.rx_cache.lookup(logical_q)
         if slot is None:
-            yield from self._to_missq(("miss", logical_q, src_node, payload, flags))
+            yield from self._to_missq(("miss", logical_q, src_node,
+                                       bytes(payload), flags))
             if span is not None:
                 span.end(outcome="miss")
             return
@@ -417,7 +450,7 @@ class Ctrl:
                 return
             if q.full_policy is FullPolicy.DIVERT:
                 yield from self._to_missq(
-                    ("overflow", logical_q, src_node, payload, flags)
+                    ("overflow", logical_q, src_node, bytes(payload), flags)
                 )
                 if span is not None:
                     span.end(outcome="overflow")
@@ -429,8 +462,14 @@ class Ctrl:
                 ev = self.engine.event(name=f"{self.name}.rxspace{slot}")
                 self._rx_space[slot] = ev
             yield ev
-        entry = encode_rx_header(src_node, len(payload), flags) + payload
-        yield from self.sram_write(q.bank, q.slot_offset(q.producer), entry)
+        # Landing store: scatter-gather [header, payload] straight into the
+        # queue slot — the payload (possibly still a view of the sender's
+        # SRAM on the loopback path) is copied exactly here and nowhere
+        # earlier.  Timing-identical to writing the concatenation.
+        header = encode_rx_header(src_node, len(payload), flags)
+        yield from self.sram_write_parts(
+            q.bank, q.slot_offset(q.producer), (header, payload)
+        )
         q.advance_producer(q.producer + 1)
         q.messages += 1
         self.stats.counter(f"{self.name}.msgs_delivered").incr()

@@ -244,7 +244,8 @@ class ExpressTxHandler(BusHandler):
         off = txn.addr - self.region.base
         vdst = (off >> EXPRESS_VDST_SHIFT) & 0xFF
         extra = (off >> EXPRESS_BYTE_SHIFT) & 0xFF
-        data = (txn.data or b"").ljust(4, b"\x00")[:4]
+        # txn.data may be a zero-copy view; materialize for the FIFO item
+        data = bytes(txn.data or b"").ljust(4, b"\x00")[:4]
         self._uncommitted += 1
         self.fifo.try_put((vdst, bytes([extra]) + data))
         return None

@@ -153,30 +153,37 @@ class AppProcessor:
     def _read(self, mode: AccessMode, addr: int, size: int, pid: int
               ) -> Generator["Event", None, bytes]:
         if mode is AccessMode.CACHED:
-            out = bytearray()
+            parts = []
             for a, n in self._line_spans(addr, size):
-                out += yield from self.node.l2.load(a, n)
-            return bytes(out)
-        out = bytearray()
+                parts.append((yield from self.node.l2.load(a, n)))
+            return b"".join(parts)
+        parts = []
         for a, n, burst in self._bus_spans(addr, size, mode):
             op = BusOpType.READ_LINE if burst else BusOpType.READ
             txn = BusTransaction(op, a, n, master=self.name, tag=pid)
             yield from self.node.bus.transact(txn)
-            out += txn.data  # type: ignore[arg-type]
-        return bytes(out)
+            parts.append(txn.data)
+        # single gather of the per-span results (was: a bytearray append
+        # per span plus a final bytes() copy)
+        return b"".join(parts)
 
     def _write(self, mode: AccessMode, addr: int, data: bytes, pid: int
                ) -> Generator["Event", None, None]:
+        # pin mutable buffers once, then ride zero-copy slices of the
+        # immutable copy through every span's transaction
+        if type(data) is not bytes:
+            data = bytes(data)
+        mv = memoryview(data)
         if mode is AccessMode.CACHED:
             off = 0
             for a, n in self._line_spans(addr, len(data)):
-                yield from self.node.l2.store(a, data[off : off + n])
+                yield from self.node.l2.store(a, mv[off : off + n])
                 off += n
             return
         off = 0
         for a, n, burst in self._bus_spans(addr, len(data), mode):
             op = BusOpType.WRITE_LINE if burst else BusOpType.WRITE
-            txn = BusTransaction(op, a, n, data=data[off : off + n],
+            txn = BusTransaction(op, a, n, data=mv[off : off + n],
                                  master=self.name, tag=pid)
             yield from self.node.bus.transact(txn)
             off += n

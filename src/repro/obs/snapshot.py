@@ -11,7 +11,10 @@ key                   contents
 ``schema_version``    integer, bumped on incompatible layout changes
 ``now_ns``            simulated time of the snapshot
 ``n_nodes``           machine size
-``sim``               engine health: ``events_executed``, ``pending_events``
+``sim``               engine health: ``events_executed``, ``pending_events``,
+                      plus ``wall`` — *wall-clock* gauges (``seconds``,
+                      ``events_per_second``) that vary run to run with host
+                      load; determinism comparisons must strip ``sim.wall``
 ``counters``          flat name -> int (monotonic event counts)
 ``accumulators``      name -> {n, mean, min, max, total, stddev,
                       p50, p90, p99} (percentiles from the log-bucketed
@@ -56,6 +59,11 @@ def metrics_snapshot(machine: "StarTVoyager",
         "sim": {
             "events_executed": machine.engine.events_executed,
             "pending_events": machine.engine.pending_events,
+            # wall-clock, not simulated: nondeterministic by nature.
+            "wall": {
+                "seconds": machine.engine.wall_seconds,
+                "events_per_second": machine.engine.events_per_second,
+            },
         },
         "counters": {name: c.value
                      for name, c in sorted(stats._counters.items())},

@@ -1,38 +1,79 @@
 """The discrete-event engine.
 
-A binary-heap scheduler over ``(time, sequence, callback)`` entries.  The
-sequence number makes scheduling deterministic: two callbacks scheduled
-for the same instant run in the order they were scheduled, on every run,
-on every platform.  Determinism is a hard requirement here — the whole
-point of the platform is comparing mechanisms, and noise from dict/heap
-tie-breaking would poison those comparisons.
+A binary-heap scheduler over *scheduled items*: 5-tuples of
+``(time, seq, kind, target, arg)``.  The sequence number makes
+scheduling deterministic — two items scheduled for the same instant run
+in the order they were scheduled, on every run, on every platform — and,
+because it is unique, tuple comparison terminates at ``seq`` and never
+inspects ``kind``/``target``/``arg``.  Determinism is a hard requirement
+here: the whole point of the platform is comparing mechanisms, and noise
+from dict/heap tie-breaking would poison those comparisons.
+
+The ``kind`` field selects one of three inlined dispatch paths in the
+run loop (see DESIGN.md §"Simulation kernel fast paths"):
+
+====  ==============  =====================================================
+kind  name            meaning
+====  ==============  =====================================================
+0     CALL            ``target`` is a no-arg callable; ``arg`` unused
+1     SUCCEED         ``target`` is an :class:`Event`; succeed with ``arg``
+2     CALLBACKS       ``target`` is a callback list; ``arg`` the event
+====  ==============  =====================================================
+
+Earlier revisions stored a closure per entry (``lambda: ev.succeed(v)``)
+— one allocation per scheduled event plus an indirect call at dispatch.
+The tagged-tuple layout removes both, which matters: the kernel executes
+hundreds of thousands of items per wall second.
 
 Time is a float in nanoseconds (see :mod:`repro.common.units`).
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
+from time import perf_counter
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import _PENDING, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import ProcGen, Process
+
+#: scheduled-item kinds — element 2 of a heap entry.
+KIND_CALL = 0
+KIND_SUCCEED = 1
+KIND_CALLBACKS = 2
+
+#: one heap entry: (time, seq, kind, target, arg).
+ScheduledItem = Tuple[float, int, int, Any, Any]
 
 
 class Engine:
     """Event loop, clock, and factory for events and processes."""
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_seq",
+        "_crashes",
+        "strict",
+        "events_executed",
+        "wall_seconds",
+    )
+
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[ScheduledItem] = []
         self._seq = 0
         self._crashes: List[Tuple[Process, BaseException]] = []
         #: processes whose failure should abort run() even if unjoined.
         self.strict = True
-        #: total callbacks executed — the observability layer's measure
-        #: of how much simulation work a run cost.
+        #: total scheduled items executed — the observability layer's
+        #: measure of how much simulation work a run cost.
         self.events_executed = 0
+        #: wall-clock seconds spent inside run()/run_until_triggered();
+        #: with :attr:`events_executed` this yields the
+        #: :attr:`events_per_second` throughput gauge.
+        self.wall_seconds = 0.0
 
     # -- clock -----------------------------------------------------------
 
@@ -66,30 +107,37 @@ class Engine:
     # -- scheduling (internal API used by events/processes) ---------------
 
     def _push(self, time: float, fn: Callable[[], None]) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, fn))
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (time, seq, KIND_CALL, fn, None))
 
     def _schedule_call(self, fn: Callable[[], None], delay: float = 0.0) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self._push(self._now + delay, fn)
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now + delay, seq, KIND_CALL, fn, None))
 
     def _schedule_timeout(self, ev: Event, delay: float, value: Any) -> None:
-        self._push(self._now + delay, lambda: ev.succeed(value))
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now + delay, seq, KIND_SUCCEED, ev, value))
 
     def _schedule_event_callbacks(
         self, ev: Event, callbacks: List[Callable[[Event], None]]
     ) -> None:
         # Callbacks run as a unit at the current time, after already-queued
         # same-time entries scheduled earlier.
-        def run() -> None:
-            for cb in callbacks:
-                cb(ev)
-
-        self._push(self._now, run)
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now, seq, KIND_CALLBACKS, callbacks, ev))
 
     def _note_process_crash(self, proc: Process, exc: BaseException) -> None:
         self._crashes.append((proc, exc))
+
+    def _crash_error(self) -> SimulationError:
+        proc, exc = self._crashes[0]
+        err = SimulationError(
+            f"process {proc.name!r} crashed at t={self._now:.1f}ns"
+        )
+        err.__cause__ = exc
+        return err
 
     # -- running -----------------------------------------------------------
 
@@ -103,25 +151,41 @@ class Engine:
         """
         if until is not None and until < self._now:
             raise SimulationError(f"cannot run until {until} < now {self._now}")
-        while self._heap:
-            time, _seq, fn = self._heap[0]
-            if until is not None and time > until:
-                self._now = until
-                break
-            heapq.heappop(self._heap)
-            if time < self._now:  # pragma: no cover - heap invariant
-                raise SimulationError("time went backwards")
-            self._now = time
-            self.events_executed += 1
-            fn()
-            if self._crashes and self.strict:
-                proc, exc = self._crashes[0]
-                raise SimulationError(
-                    f"process {proc.name!r} crashed at t={self._now:.1f}ns"
-                ) from exc
-        else:
-            if until is not None:
-                self._now = until
+        heap = self._heap
+        crashes = self._crashes
+        executed = 0
+        t0 = perf_counter()
+        try:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self._now = until
+                    break
+                time, _seq, kind, target, arg = heappop(heap)
+                self._now = time
+                executed += 1
+                # Inline dispatch, most frequent kind first.
+                if kind == 2:  # KIND_CALLBACKS
+                    for cb in target:
+                        cb(arg)
+                elif kind == 1:  # KIND_SUCCEED (the Timeout fast path)
+                    if target._value is not _PENDING or target._exc is not None:
+                        raise SimulationError(f"event {target!r} triggered twice")
+                    target._value = arg
+                    callbacks = target._callbacks
+                    target._callbacks = None
+                    if callbacks:
+                        self._seq = seq = self._seq + 1
+                        heappush(heap, (time, seq, 2, callbacks, target))
+                else:  # KIND_CALL
+                    target()
+                if crashes and self.strict:
+                    raise self._crash_error()
+            else:
+                if until is not None:
+                    self._now = until
+        finally:
+            self.events_executed += executed
+            self.wall_seconds += perf_counter() - t0
         return self._now
 
     def run_until_triggered(self, ev: Event, limit: Optional[float] = None) -> Any:
@@ -131,25 +195,57 @@ class Engine:
         deadlock from the waiter's perspective) or the time ``limit`` is
         hit.
         """
-        while not ev.triggered:
-            if not self._heap:
-                raise SimulationError(
-                    f"event queue drained before {ev!r} triggered (deadlock?)"
-                )
-            if limit is not None and self._heap[0][0] > limit:
-                raise SimulationError(f"time limit {limit} hit before {ev!r}")
-            time, _seq, fn = heapq.heappop(self._heap)
-            self._now = time
-            self.events_executed += 1
-            fn()
-            if self._crashes and self.strict:
-                proc, exc = self._crashes[0]
-                raise SimulationError(
-                    f"process {proc.name!r} crashed at t={self._now:.1f}ns"
-                ) from exc
+        heap = self._heap
+        crashes = self._crashes
+        executed = 0
+        t0 = perf_counter()
+        try:
+            while ev._value is _PENDING and ev._exc is None:  # not triggered
+                if not heap:
+                    raise SimulationError(
+                        f"event queue drained before {ev!r} triggered (deadlock?)"
+                    )
+                if limit is not None and heap[0][0] > limit:
+                    raise SimulationError(f"time limit {limit} hit before {ev!r}")
+                time, _seq, kind, target, arg = heappop(heap)
+                self._now = time
+                executed += 1
+                if kind == 2:  # KIND_CALLBACKS
+                    for cb in target:
+                        cb(arg)
+                elif kind == 1:  # KIND_SUCCEED
+                    if target._value is not _PENDING or target._exc is not None:
+                        raise SimulationError(f"event {target!r} triggered twice")
+                    target._value = arg
+                    callbacks = target._callbacks
+                    target._callbacks = None
+                    if callbacks:
+                        self._seq = seq = self._seq + 1
+                        heappush(heap, (time, seq, 2, callbacks, target))
+                else:  # KIND_CALL
+                    target()
+                if crashes and self.strict:
+                    raise self._crash_error()
+        finally:
+            self.events_executed += executed
+            self.wall_seconds += perf_counter() - t0
         return ev.value
+
+    # -- introspection -----------------------------------------------------
 
     @property
     def pending_events(self) -> int:
         """Entries currently in the scheduling heap (diagnostics)."""
         return len(self._heap)
+
+    @property
+    def events_per_second(self) -> float:
+        """Wall-clock kernel throughput: executed items / run-loop seconds.
+
+        This is a *wall-clock* gauge — it varies run to run with host
+        load, so the observability layer reports it under ``sim.wall``,
+        which determinism comparisons must strip.
+        """
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_executed / self.wall_seconds

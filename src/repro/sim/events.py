@@ -12,6 +12,7 @@ buses...) is built on these.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 from repro.common.errors import SimulationError
@@ -88,9 +89,16 @@ class Event:
         return self
 
     def _schedule_callbacks(self) -> None:
+        # Inlined KIND_CALLBACKS push (engine._schedule_event_callbacks):
+        # this runs once per triggered event, hot enough that the method
+        # call and the closure the engine used to allocate both showed up
+        # in profiles.  Callbacks run as a unit at the current time, after
+        # already-queued same-time entries.
         callbacks, self._callbacks = self._callbacks, None
         if callbacks:
-            self.engine._schedule_event_callbacks(self, callbacks)
+            engine = self.engine
+            engine._seq = seq = engine._seq + 1
+            heappush(engine._heap, (engine._now, seq, 2, callbacks, self))
 
     # -- waiting -------------------------------------------------------
 
@@ -110,16 +118,29 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that succeeds after a fixed simulated delay."""
+    """An event that succeeds after a fixed simulated delay.
+
+    The constructor is the single hottest allocation site in the kernel
+    (every modeled latency is a Timeout), so it writes the :class:`Event`
+    fields directly instead of chaining ``super().__init__`` and pushes
+    its KIND_SUCCEED scheduled item inline instead of going through
+    ``engine._schedule_timeout``.  The name is a constant: formatting a
+    per-instance ``timeout(...)`` label cost more than the heap push.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout {delay}")
-        super().__init__(engine, name=f"timeout({delay:g})")
+        self.engine = engine
+        self._value = _PENDING
+        self._exc = None
+        self._callbacks = []
+        self.name = "timeout"
         self.delay = delay
-        engine._schedule_timeout(self, delay, value)
+        engine._seq = seq = engine._seq + 1
+        heappush(engine._heap, (engine._now + delay, seq, 1, self, value))
 
 
 class AllOf(Event):

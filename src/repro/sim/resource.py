@@ -10,7 +10,8 @@ CTRL's transmit-queue arbitration and the Arctic two-priority links.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Generator, List, Optional, Tuple
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Generator, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.sim.events import Event
@@ -22,6 +23,17 @@ if TYPE_CHECKING:  # pragma: no cover
 class Resource:
     """A counted resource with FIFO grant order (capacity defaults to 1)."""
 
+    __slots__ = (
+        "engine",
+        "capacity",
+        "name",
+        "_in_use",
+        "_waiters",
+        "_busy_since",
+        "_busy_time",
+        "_req_name",
+    )
+
     def __init__(self, engine: "Engine", capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise SimulationError("resource capacity must be >= 1")
@@ -29,16 +41,18 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self._in_use = 0
-        self._waiters: List[Event] = []
+        self._waiters: Deque[Event] = deque()
         # utilization accounting
         self._busy_since: Optional[float] = None
         self._busy_time = 0.0
+        # precomputed: request() is on every bus/SRAM/link fast path.
+        self._req_name = "req:" + name
 
     # -- acquisition -----------------------------------------------------
 
     def request(self) -> Event:
         """An event that succeeds when one unit is granted to the caller."""
-        ev = self.engine.event(name=f"req:{self.name}")
+        ev = Event(self.engine, self._req_name)
         if self._in_use < self.capacity:
             self._grant(ev)
         else:
@@ -54,7 +68,7 @@ class Resource:
             self._busy_time += self.engine.now - self._busy_since
             self._busy_since = None
         while self._waiters:
-            ev = self._waiters.pop(0)
+            ev = self._waiters.popleft()
             if ev.triggered:  # cancelled/failed externally
                 continue
             self._grant(ev)
@@ -109,13 +123,15 @@ class PriorityResource(Resource):
     Ties break FIFO via a sequence counter, preserving determinism.
     """
 
+    __slots__ = ("_pwaiters", "_seq")
+
     def __init__(self, engine: "Engine", capacity: int = 1, name: str = "") -> None:
         super().__init__(engine, capacity, name)
         self._pwaiters: List[Tuple[int, int, Event]] = []
         self._seq = 0
 
     def request(self, priority: int = 0) -> Event:  # type: ignore[override]
-        ev = self.engine.event(name=f"req:{self.name}")
+        ev = Event(self.engine, self._req_name)
         if self._in_use < self.capacity:
             self._grant(ev)
         else:

@@ -252,12 +252,11 @@ def test_machine_occupancies_deprecated(m2):
     assert occ["ap"] > 0.0
 
 
-def test_ctor_kwargs_deprecated_but_functional():
-    with pytest.warns(DeprecationWarning):
-        m = repro.StarTVoyager(repro.default_config(n_nodes=2),
-                               install_firmware=False)
-    assert m.config.install_firmware is False
-    assert not m.node(0).sp._handlers
+def test_ctor_kwargs_removed():
+    # the deprecated loose kwargs are gone: MachineConfig owns the fields
+    with pytest.raises(TypeError):
+        repro.StarTVoyager(repro.default_config(n_nodes=2),
+                           install_firmware=False)
 
 
 def test_config_fields_replace_ctor_kwargs():
