@@ -61,7 +61,7 @@ def test_hotspot_does_not_lose_messages(benchmark):
         procs, verify = hotspot(machine, messages_per_node=30)
         _run(machine, procs, verify)
         drops = sum(v for k, v in machine.stats.report().items()
-                    if k.endswith("rx_drops"))
+                    if ".rx_drops." in k)
         return drops
 
     assert benchmark.pedantic(run, rounds=1, iterations=1) == 0

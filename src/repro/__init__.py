@@ -18,9 +18,10 @@ snapshot with p50/p90/p99 latencies) and ``machine.obs`` (span tracing,
 Perfetto export, queue-depth sampling) — see :mod:`repro.obs`.
 """
 
-from repro.common.config import MachineConfig, default_config
+from repro.common.config import MachineConfig, ReliabilityConfig, default_config
 from repro.core.inspect import describe_machine
 from repro.core.machine import StarTVoyager
+from repro.faults import FaultPlan
 from repro.lib.mpi import MiniMPI
 from repro.obs import (
     Histogram,
@@ -30,13 +31,16 @@ from repro.obs import (
     write_metrics,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # machine construction
     "StarTVoyager",
     "MachineConfig",
+    "ReliabilityConfig",
     "default_config",
+    # fault injection
+    "FaultPlan",
     # programming layers
     "MiniMPI",
     # measurement / observability

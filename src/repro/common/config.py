@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.common.errors import ConfigError
 from repro.common.units import KB, MB, is_power_of_two, mbps_to_ns_per_byte, mhz_to_ns
+from repro.faults.plan import FaultPlan
 
 
 @dataclass
@@ -323,11 +324,46 @@ class FirmwareCostConfig:
     coll_combine_insns: int = 30
     #: CollectiveUnit: forward the result one tree hop on the down sweep.
     coll_forward_insns: int = 45
+    #: reliable delivery: wrap + launch one go-back-N segment.
+    rel_send_insns: int = 70
+    #: reliable delivery: receive one DATA segment (seq check + deliver).
+    rel_data_insns: int = 55
+    #: reliable delivery: process one cumulative ACK.
+    rel_ack_insns: int = 35
+    #: reliable delivery: one retransmit-timer firing (window walk).
+    rel_timer_insns: int = 50
 
     def validate(self) -> None:
         for f in dataclasses.fields(self):
             if getattr(self, f.name) < 0:
                 raise ConfigError(f"firmware cost {f.name} must be non-negative")
+
+
+@dataclass
+class ReliabilityConfig:
+    """The firmware go-back-N ack/retransmit protocol's knobs."""
+
+    #: sender window (unacked segments in flight per destination); also
+    #: the retransmit-buffer bound — sends past it backpressure in sP.
+    window: int = 8
+    #: initial retransmit timeout.
+    timeout_ns: float = 30_000.0
+    #: exponential backoff factor applied on every timer expiry.
+    backoff: float = 2.0
+    #: cap on the backed-off timeout.
+    max_timeout_ns: float = 500_000.0
+
+    def validate(self) -> None:
+        if self.window < 1:
+            raise ConfigError("reliability window must be at least 1")
+        if self.timeout_ns <= 0:
+            raise ConfigError("reliability timeout must be positive")
+        if self.backoff < 1.0:
+            raise ConfigError("reliability backoff factor must be >= 1")
+        if self.max_timeout_ns < self.timeout_ns:
+            raise ConfigError(
+                "reliability max timeout cannot undercut the initial timeout"
+            )
 
 
 @dataclass
@@ -343,6 +379,10 @@ class MachineConfig:
     niu: NIUConfig = field(default_factory=NIUConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     firmware: FirmwareCostConfig = field(default_factory=FirmwareCostConfig)
+    reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
+    #: declarative fault schedule (None = the network never lies; the
+    #: machine then builds with zero fault-path state).
+    faults: Optional[FaultPlan] = None
     #: seed for any randomized choices (e.g. fat-tree up-link spreading).
     seed: int = 0
     #: load the shipped sP firmware image at machine assembly (tests that
@@ -370,6 +410,9 @@ class MachineConfig:
         self.niu.validate()
         self.network.validate()
         self.firmware.validate()
+        self.reliability.validate()
+        if self.faults is not None:
+            self.faults.validate(self.n_nodes)
         if self.l2.line_bytes != self.bus.line_bytes:
             raise ConfigError("L2 line size must match the bus coherence line")
         if self.niu.basic_max_payload > self.network.max_payload_bytes:
@@ -396,6 +439,8 @@ class MachineConfig:
             niu=dataclasses.replace(self.niu),
             network=dataclasses.replace(self.network),
             firmware=dataclasses.replace(self.firmware),
+            reliability=dataclasses.replace(self.reliability),
+            faults=None if self.faults is None else self.faults.copy(),
             scoma_home_of=(None if self.scoma_home_of is None
                            else list(self.scoma_home_of)),
         )

@@ -91,6 +91,15 @@ class StarTVoyager:
                                          config.scoma_home_of)
         for node in self.nodes:
             node.start()
+        #: fault injector, armed when the config carries a fault plan
+        #: (``config.faults``); None on a healthy machine.
+        self.fault_injector = None
+        if config.faults is not None:
+            from repro.faults.inject import FaultInjector
+
+            config.faults.validate(config.n_nodes)
+            self.fault_injector = FaultInjector(self, config.faults)
+            self.fault_injector.arm()
 
     # -- construction helpers ---------------------------------------------------
 

@@ -1,0 +1,42 @@
+"""repro.faults: deterministic fault injection for the Arctic fabric.
+
+The paper's network never drops a packet; this package makes it lie —
+on purpose, on schedule, and reproducibly — so the firmware reliability
+protocol (:mod:`repro.firmware.reliable`) and the fault benchmarks have
+a real adversary.  See :mod:`repro.faults.plan` for the declarative
+plan format and :mod:`repro.faults.inject` for how plans arm onto a
+machine.
+
+Usage::
+
+    from repro import FaultPlan, StarTVoyager, default_config
+
+    cfg = default_config(n_nodes=4)
+    cfg.faults = FaultPlan.uniform_loss(0.01, seed=7)
+    machine = StarTVoyager(cfg)          # injector armed automatically
+"""
+
+from repro.faults.inject import FATE_DELIVER, FATE_DROP, FaultInjector, LinkFaultState
+from repro.faults.plan import (
+    FaultPlan,
+    LinkEvent,
+    LinkFault,
+    NodeCrash,
+    SpStall,
+    fault_hash01,
+    link_key,
+)
+
+__all__ = [
+    "FaultPlan",
+    "LinkFault",
+    "LinkEvent",
+    "SpStall",
+    "NodeCrash",
+    "FaultInjector",
+    "LinkFaultState",
+    "FATE_DELIVER",
+    "FATE_DROP",
+    "fault_hash01",
+    "link_key",
+]

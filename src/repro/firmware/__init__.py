@@ -25,6 +25,7 @@ from repro.firmware.dma import install_dma_firmware
 from repro.firmware.msg import declare_dram_queue, install_missq_firmware
 from repro.firmware.numa import NumaMap, setup_numa
 from repro.firmware.reflective import install_reflective
+from repro.firmware.reliable import ensure_reliable, setup_reliable
 from repro.firmware.scoma import setup_scoma
 
 __all__ = [
@@ -34,6 +35,8 @@ __all__ = [
     "install_dma_firmware",
     "install_reflective",
     "setup_numa",
+    "setup_reliable",
+    "ensure_reliable",
     "setup_scoma",
     "declare_dram_queue",
     "register_msg_handler",
@@ -71,6 +74,7 @@ def install_default_firmware(node, n_nodes: int,
             (line // lines_per_page) % n_nodes for line in range(n_lines)
         ]
     setup_scoma(sp, scoma_home_of)
+    setup_reliable(sp, n_nodes)
     # the CollectiveUnit (lazy import: repro.collectives builds on this
     # package's primitives)
     from repro.collectives.firmware import setup_collectives

@@ -30,6 +30,9 @@ MSG_SCOMA_WBDATA = 13  #: owner sP -> home sP: recalled line data
 MSG_COLL_REQ = 16  #: aP -> local sP: contribute to / start a collective
 MSG_COLL_UP = 17  #: child sP -> parent sP: combined subtree contribution
 MSG_COLL_DOWN = 18  #: parent sP -> child sP: collective result going down
+MSG_REL_SEND = 19  #: aP -> local sP: submit one reliable-delivery segment
+MSG_REL_DATA = 20  #: sender sP -> receiver sP: go-back-N DATA segment
+MSG_REL_ACK = 21  #: receiver sP -> sender sP: cumulative acknowledgement
 MSG_USER = 64  #: first type value free for applications/libraries
 
 
@@ -177,6 +180,45 @@ def unpack_scoma_wbdata(p: bytes) -> Tuple[int, bytes]:
     if p[0] != MSG_SCOMA_WBDATA:
         raise FirmwareError(f"not S-COMA writeback data: {p!r}")
     return int.from_bytes(p[2:6], "big"), p[6 : 6 + p[1]]
+
+
+# -- reliable delivery (go-back-N ack/retransmit) -------------------------------
+
+
+def pack_rel_send(dst_queue: int, dst_node: int) -> bytes:
+    """Reliable-send request header (user payload follows)."""
+    return bytes([MSG_REL_SEND, dst_queue]) + dst_node.to_bytes(2, "big")
+
+
+def unpack_rel_send(p: bytes) -> Tuple[int, int, bytes]:
+    """Returns (dst_queue, dst_node, user_payload)."""
+    if p[0] != MSG_REL_SEND or len(p) < 4:
+        raise FirmwareError(f"not a reliable-send request: {p!r}")
+    return p[1], int.from_bytes(p[2:4], "big"), p[4:]
+
+
+def pack_rel_data(dst_queue: int, seq: int) -> bytes:
+    """Go-back-N DATA segment header (user payload follows)."""
+    return bytes([MSG_REL_DATA, dst_queue]) + seq.to_bytes(2, "big")
+
+
+def unpack_rel_data(p: bytes) -> Tuple[int, int, bytes]:
+    """Returns (dst_queue, seq, user_payload)."""
+    if p[0] != MSG_REL_DATA or len(p) < 4:
+        raise FirmwareError(f"not a reliable DATA segment: {p!r}")
+    return p[1], int.from_bytes(p[2:4], "big"), p[4:]
+
+
+def pack_rel_ack(ack: int) -> bytes:
+    """Cumulative ACK: every seq serially below ``ack`` is delivered."""
+    return bytes([MSG_REL_ACK, 0]) + ack.to_bytes(2, "big")
+
+
+def unpack_rel_ack(p: bytes) -> int:
+    """Returns the cumulative ack value (receiver's next expected seq)."""
+    if p[0] != MSG_REL_ACK or len(p) < 4:
+        raise FirmwareError(f"not a reliable ACK: {p!r}")
+    return int.from_bytes(p[2:4], "big")
 
 
 # -- S-COMA eviction (capacity management) -------------------------------------

@@ -56,6 +56,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 FRAG_HEADER = 10
 FRAG_DATA = 78
+#: reliable sends lose 4 bytes of each Basic payload to the go-back-N
+#: header (repro.firmware.reliable.REL_HEADER_BYTES), so fragments shrink.
+FRAG_DATA_RELIABLE = 74
 #: collective traffic owns tags 0x8000..0xFFFF (user tags are 15-bit),
 #: sequenced per collective call so that back-to-back collectives never
 #: steal each other's messages.  The 32768-tag window means aliasing
@@ -92,11 +95,19 @@ class MiniMPI:
     ``algo`` selects the collective family (see the module docstring);
     ``tree``/``arity`` pick the spanning-tree shape (``"binomial"`` or
     ``"kary"``) used by the ``"tree"`` and ``"nic"`` paths.
+
+    ``reliable=True`` routes every point-to-point fragment through the
+    sP's go-back-N ack/retransmit firmware
+    (:mod:`repro.firmware.reliable`), surviving lossy links at the cost
+    of a 4-byte header per fragment and the firmware round trip.
+    Collectives built from point-to-point (``"flat"``/``"tree"``)
+    inherit reliability; the ``"nic"`` combining path does not.
     """
 
     def __init__(self, machine: "StarTVoyager", tx_index: int = 2,
                  rx_logical: int = 2, algo: str = "flat",
-                 tree: str = "binomial", arity: int = 2) -> None:
+                 tree: str = "binomial", arity: int = 2,
+                 reliable: bool = False) -> None:
         if algo not in ALGOS:
             raise ProgramError(f"unknown collective algo {algo!r}; "
                                f"choose from {ALGOS}")
@@ -113,6 +124,13 @@ class MiniMPI:
         self.algo = algo
         self.tree = tree
         self.arity = arity
+        self.reliable = reliable
+        self.frag_data = FRAG_DATA_RELIABLE if reliable else FRAG_DATA
+        if reliable:
+            # make sure every node's sP carries the go-back-N engine
+            # (no-op under the shipped default image)
+            from repro.firmware.reliable import ensure_reliable
+            ensure_reliable(machine)
         self._ranks: Dict[int, "MpiRank"] = {}
         self._plans: Dict[int, TreePlan] = {}
         self._rd: Optional[RdSchedule] = None
@@ -192,9 +210,10 @@ class MpiRank:
         if not (0 <= tag <= 0xFFFF):
             raise ProgramError(f"tag {tag} outside 16 bits")
         total = len(data)
+        frag_data = self.mpi.frag_data
         offset = 0
         while True:
-            frag = data[offset : offset + FRAG_DATA]
+            frag = data[offset : offset + frag_data]
             payload = (tag.to_bytes(2, "big") + total.to_bytes(4, "big")
                        + offset.to_bytes(4, "big") + frag)
             yield from self._launch(api, dst, self.mpi.rx_logical, payload)
@@ -202,10 +221,19 @@ class MpiRank:
             if offset >= total:
                 break
 
-    def _launch(self, api: "ApApi", dst: int, queue: int, payload: bytes
+    def _launch(self, api: "ApApi", dst: int, queue: int, payload: bytes,
+                reliable: Optional[bool] = None
                 ) -> Generator["Event", None, None]:
-        """One Basic message to (node, logical queue), wide-safe."""
-        if self.mpi.wide:
+        """One Basic message to (node, logical queue), wide-safe.
+
+        ``reliable`` overrides the communicator-wide setting (the NIC
+        collective enqueue is a local sP hand-off and stays plain).
+        """
+        if self.mpi.reliable if reliable is None else reliable:
+            yield from self.port.send_reliable(api, dst, payload,
+                                               dst_queue=queue,
+                                               raw=self.mpi.wide)
+        elif self.mpi.wide:
             yield from self.port.send(api, dst, payload, raw=True,
                                       dst_queue=queue)
         else:
@@ -241,7 +269,7 @@ class MpiRank:
         offset = int.from_bytes(payload[6:10], "big")
         frag = payload[FRAG_HEADER:]
         key = (src, tag)
-        if total <= FRAG_DATA and offset == 0:
+        if offset == 0 and len(frag) >= total:
             self._mailbox.setdefault(key, []).append(frag[:total])
             return
         if key not in self._partial:
@@ -284,7 +312,8 @@ class MpiRank:
         """The single enqueue: one Basic message to the local sP."""
         payload = wire.pack_coll(MSG_COLL_REQ, kind, op_code, 0, seq, root,
                                  self.mpi.rx_logical, tag, data)
-        yield from self._launch(api, self.rank, SP_SERVICE_QUEUE, payload)
+        yield from self._launch(api, self.rank, SP_SERVICE_QUEUE, payload,
+                                reliable=False)
 
     def barrier(self, api: "ApApi") -> Generator["Event", None, None]:
         """All ranks synchronize."""

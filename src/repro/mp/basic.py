@@ -39,7 +39,7 @@ from repro.niu.msgformat import (
     decode_rx_header,
     encode_header,
 )
-from repro.niu.niu import PTR_WINDOW_OFF
+from repro.niu.niu import PTR_WINDOW_OFF, SP_REL_TX_QUEUE, vdst_for
 from repro.niu.queues import BANK_A, QueueKind, QueueState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -134,6 +134,42 @@ class BasicPort:
         )
         self.sent += 1
         self.stats.accumulator("mp.basic.send_ns").add(api.now - t0)
+
+    def send_reliable(
+        self,
+        api: "ApApi",
+        dst_node: int,
+        payload: bytes,
+        dst_queue: int = 0,
+        raw: bool = False,
+    ) -> Generator["Event", None, None]:
+        """Launch one message with firmware ack/retransmit delivery.
+
+        The payload is handed to the *local* sP's go-back-N sender
+        (:mod:`repro.firmware.reliable`), which sequences it, keeps a
+        copy for retransmission, and releases it only on a cumulative
+        ACK from ``dst_node``.  Blocks (via the ordinary tx-full poll)
+        when the sP's retransmit window is saturated.  ``raw`` selects
+        kernel-mode addressing exactly as in :meth:`send`; here it
+        applies to the hop into the local sP, while ``dst_node`` always
+        travels in the request header.
+        """
+        from repro.firmware.proto import pack_rel_send
+        from repro.firmware.reliable import REL_MAX_PAYLOAD
+
+        if len(payload) > REL_MAX_PAYLOAD:
+            raise ProgramError(
+                f"reliable payload {len(payload)} exceeds {REL_MAX_PAYLOAD} "
+                f"(the go-back-N header claims {MAX_PAYLOAD - REL_MAX_PAYLOAD}"
+                f" bytes)"
+            )
+        req = pack_rel_send(dst_queue, dst_node) + payload
+        me = self.node.node_id
+        if raw:
+            yield from self.send(api, me, req, raw=True,
+                                 dst_queue=SP_REL_TX_QUEUE)
+        else:
+            yield from self.send(api, vdst_for(me, SP_REL_TX_QUEUE), req)
 
     def stage_tagon(self, api: "ApApi", niu_offset: int, data: bytes
                     ) -> Generator["Event", None, Tuple[int, int]]:

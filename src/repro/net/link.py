@@ -58,6 +58,10 @@ class Link:
         # statistics
         self.packets_sent = 0
         self.bytes_sent = 0
+        #: fault-injection hook (:class:`repro.faults.inject.LinkFaultState`).
+        #: None on a healthy link — the send path pays one attribute check
+        #: (the zero-overhead-when-off contract).
+        self.faults = None
 
     # -- sender side ---------------------------------------------------------
 
@@ -72,6 +76,17 @@ class Link:
         # one size lookup per transmission; every charge below uses it
         wire_bytes = pkt.wire_bytes
         serialize_ns = wire_bytes * self.config.ns_per_byte
+        # fault injection: a dropped packet still serializes (the wire is
+        # occupied before it vanishes) and its receive-buffer credit must
+        # come home at delivery time, or the lane would wedge after
+        # ``buffer_packets`` losses.  Corruption mutates the packet in
+        # place; it delivers normally and rx checksum verification fails.
+        fs = self.faults
+        dropped = fs is not None and fs.fate(pkt) != 0
+        if dropped:
+            deliver = lambda: self._credits[pkt.priority].try_put(object())  # noqa: E731
+        else:
+            deliver = lambda: buffer.try_put(pkt)  # noqa: E731
         try:
             if self.deliver_early:
                 # cut-through: the head proceeds after the header; the
@@ -80,14 +95,14 @@ class Link:
                     * self.config.ns_per_byte
                 yield self.engine.timeout(header_ns)
                 self.engine._schedule_call(
-                    lambda: buffer.try_put(pkt),
+                    deliver,
                     delay=self.config.wire_latency_ns,
                 )
                 yield self.engine.timeout(serialize_ns - header_ns)
             else:
                 yield self.engine.timeout(serialize_ns)
                 self.engine._schedule_call(
-                    lambda: buffer.try_put(pkt),
+                    deliver,
                     delay=self.config.wire_latency_ns,
                 )
         finally:

@@ -9,7 +9,7 @@ topology exists.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.common.config import NetworkConfig
 from repro.common.errors import NetworkError
@@ -113,6 +113,11 @@ class ArcticNetwork:
         self.topology = FatTreeTopology(n_nodes, radix=config.radix, seed=seed)
         self.switches: Dict[Tuple[int, int], ArcticSwitch] = {}
         self.links: List[Link] = []
+        self._links_by_name: Dict[str, Link] = {}
+        #: names of currently-downed links; routing avoids them.  Owned by
+        #: :class:`repro.faults.inject.FaultInjector` — empty (and free:
+        #: one falsy check per route) on a healthy machine.
+        self.down_links: Set[str] = set()
         self.ports: List[NetworkPort] = []
         self._build()
 
@@ -124,6 +129,7 @@ class ArcticNetwork:
         link = Link(self.engine, self.config, name,
                     deliver_early=self.config.cut_through and to_switch)
         self.links.append(link)
+        self._links_by_name[name] = link
         return link
 
     def _build(self) -> None:
@@ -165,14 +171,34 @@ class ArcticNetwork:
     # -- routing helper used by NIU translation tables -------------------------
 
     def route(self, src: int, dst: int) -> List[int]:
-        """Source route (switch port list) between two node leaves."""
+        """Source route (switch port list) between two node leaves.
+
+        Routes computed while links are down steer around them (the
+        paper's fat tree has path diversity precisely so single failures
+        do not partition the machine)."""
         if not (0 <= dst < self.n_nodes):
             raise NetworkError(f"destination node {dst} does not exist")
+        if self.down_links:
+            return self.topology.route(src, dst, avoid=self.down_links)
         return self.topology.route(src, dst)
 
     def port(self, node: int) -> NetworkPort:
         """The attachment port of ``node``."""
         return self.ports[node]
+
+    def link_named(self, name: str) -> Link:
+        """Look up a link by its wiring name (fault injection)."""
+        try:
+            return self._links_by_name[name]
+        except KeyError:
+            raise NetworkError(f"no link named {name!r}") from None
+
+    def node_link_names(self, node: int) -> Tuple[str, str]:
+        """``(injection, delivery)`` link names of a node's attachment."""
+        if not (0 <= node < self.n_nodes):
+            raise NetworkError(f"node {node} does not exist")
+        return (self.topology.inject_link_name(node),
+                self.topology.deliver_link_name(node))
 
     # -- diagnostics --------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import enum
 import itertools
 from typing import Any, List, Optional
+from zlib import crc32
 
 from repro.common.errors import NetworkError
 
@@ -59,6 +60,7 @@ class Packet:
         "command",
         "header_bytes",
         "wire_bytes",
+        "checksum",
         "inject_time",
         "meta",
     )
@@ -100,14 +102,37 @@ class Packet:
         #: ``payload`` verbatim; COMMAND packets carry the command's wire
         #: encoding, so size accounting asks the command itself.  Computed
         #: once — every link hop charges serialization against it.
+        #: link-level integrity word (the real Arctic carries a CRC per
+        #: packet).  Computed in the same construction pass as the cached
+        #: wire size, over the already-materialized payload — no extra
+        #: copy on the lossless fast path.  Verified at CTRL rx.
         if command is not None:
             self.wire_bytes = header_bytes + command.wire_bytes()
+            self.checksum = 0
         else:
             self.wire_bytes = header_bytes + len(self.payload)
+            self.checksum = crc32(self.payload)
         #: stamped by the injecting port; used for latency statistics.
         self.inject_time: float = 0.0
         #: free-form bookkeeping (never consulted by the network itself).
         self.meta: Any = None
+
+    def verify_checksum(self) -> bool:
+        """True when the payload still matches the carried checksum."""
+        if self.command is not None:
+            return self.checksum == 0
+        return self.checksum == crc32(self.payload)
+
+    def corrupt(self, ordinal: int = 0) -> None:
+        """Flip bits in flight (fault injection): the payload mutates but
+        the checksum does not follow, so rx verification fails.  Packets
+        with no payload bytes get their checksum word damaged instead."""
+        if self.payload:
+            buf = bytearray(self.payload)
+            buf[ordinal % len(buf)] ^= 0xFF
+            self.payload = bytes(buf)
+        else:
+            self.checksum ^= 0xA5A5A5A5
 
     def next_port(self) -> int:
         """Consume and return the next routing digit."""

@@ -79,5 +79,13 @@ class ArcticSwitch:
                 raise NetworkError(
                     f"{self.name}: {pkt!r} routed to unconnected port {out_port}"
                 )
+            # fault injection: a packet already in the fabric when its next
+            # link went down is discarded here — the switch detects the
+            # dead link and never occupies its transmitter.  Packets
+            # injected *after* the failure get re-routed at the source.
+            fs = out.faults
+            if fs is not None and fs.down:
+                fs.fate(pkt)  # records the down-drop
+                continue
             self.packets_forwarded += 1
             yield from out.send(pkt)

@@ -34,7 +34,7 @@ route").
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import AbstractSet, Dict, List, Optional, Tuple
 
 from repro.common.errors import NetworkError
 
@@ -142,13 +142,21 @@ class FatTreeTopology:
         h ^= h >> 16
         return h % self.down_degree
 
-    def route(self, src: int, dst: int) -> List[int]:
+    def route(self, src: int, dst: int,
+              avoid: Optional[AbstractSet[str]] = None) -> List[int]:
         """Port list from leaf ``src`` to leaf ``dst``.
 
         Port convention inside a switch: ``0..d-1`` are down ports,
         ``d..2d-1`` are up ports.  The injection hop (node to its level-1
         switch) consumes no digit; the first digit steers the level-1
         switch.
+
+        ``avoid`` names downed links (see :meth:`up_link_name` /
+        :meth:`down_link_name` for the naming convention); when given,
+        the route searches the fat tree's path diversity — alternative
+        up-link copies first, then higher turn levels — for a walk that
+        touches none of them (up/down re-routing).  Raises when the
+        remaining fabric cannot connect the pair.
         """
         self._check_leaf(src)
         self._check_leaf(dst)
@@ -159,12 +167,81 @@ class FatTreeTopology:
         td = _digits(dst, d, self.levels)
         # highest differing digit position -> turn at level m+1
         m = max(p for p in range(self.levels) if sd[p] != td[p])
-        ports: List[int] = []
-        for lvl in range(1, m + 1):  # ascend from level lvl to lvl+1
-            ports.append(d + self._up_choice(src, dst, lvl))
-        for lvl in range(m + 1, 0, -1):  # descend: digit of dst at lvl-1
-            ports.append(td[lvl - 1])
-        return ports
+        if not avoid:
+            ports: List[int] = []
+            for lvl in range(1, m + 1):  # ascend from level lvl to lvl+1
+                ports.append(d + self._up_choice(src, dst, lvl))
+            for lvl in range(m + 1, 0, -1):  # descend: digit of dst at lvl-1
+                ports.append(td[lvl - 1])
+            return ports
+        if (self.inject_link_name(src) in avoid
+                or self.deliver_link_name(dst) in avoid):
+            raise NetworkError(
+                f"no route {src}->{dst}: an attachment link is down"
+            )
+        # search turn levels lowest (shortest route) first; every extra
+        # level multiplies the number of parallel copies by d
+        for turn in range(m + 1, self.levels + 1):
+            found = self._search_route(src, dst, td, turn, 1,
+                                       self.leaf_switch(src), avoid)
+            if found is not None:
+                return found
+        raise NetworkError(
+            f"no route {src}->{dst} avoids the downed links"
+        )
+
+    def _search_route(self, src: int, dst: int, td: List[int], turn: int,
+                      level: int, index: int,
+                      avoid: AbstractSet[str]) -> Optional[List[int]]:
+        """DFS over ascent up-link choices with the descent fixed by
+        ``dst``'s digits.  Choice order starts at the seeded default hash
+        so the fault-free subpaths match normal routing (determinism)."""
+        d = self.down_degree
+        if level == turn:
+            ports: List[int] = []
+            lvl, idx = level, index
+            while True:
+                c = td[lvl - 1]
+                if self.down_link_name(lvl, idx, c) in avoid:
+                    return None
+                ports.append(c)
+                target = self.down_target(lvl, idx, c)
+                if target[0] == "leaf":
+                    return ports if target[1] == dst else None
+                _, lvl, idx = target
+        base = self._up_choice(src, dst, level)
+        for k in range(d):
+            b = (base + k) % d
+            if self.up_link_name(level, index, b) in avoid:
+                continue
+            n_level, n_index = self.up_target(level, index, b)
+            rest = self._search_route(src, dst, td, turn, n_level, n_index,
+                                      avoid)
+            if rest is not None:
+                return [d + b] + rest
+        return None
+
+    # -- link naming (must match ArcticNetwork._build) ---------------------
+
+    def up_link_name(self, level: int, index: int, port: int) -> str:
+        """Name of the up-link from switch ``(level, index)`` via ``port``."""
+        p_level, p_index = self.up_target(level, index, port)
+        return f"sw{level}.{index}->sw{p_level}.{p_index}"
+
+    def down_link_name(self, level: int, index: int, port: int) -> str:
+        """Name of the down-link from switch ``(level, index)`` via ``port``."""
+        target = self.down_target(level, index, port)
+        if target[0] == "leaf":
+            return f"sw{level}.{index}->n{target[1]}"
+        return f"sw{level}.{index}->sw{target[1]}.{target[2]}"
+
+    def inject_link_name(self, leaf: int) -> str:
+        """Name of a node's injection link (node -> level-1 switch)."""
+        return f"n{leaf}->sw1.{self.leaf_switch(leaf)}"
+
+    def deliver_link_name(self, leaf: int) -> str:
+        """Name of a node's delivery link (level-1 switch -> node)."""
+        return f"sw1.{self.leaf_switch(leaf)}->n{leaf}"
 
     def hop_count(self, src: int, dst: int) -> int:
         """Number of switches a packet traverses."""

@@ -27,7 +27,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.common.config import MachineConfig
-from repro.common.errors import ProtectionViolation, QueueError, TranslationError
+from repro.common.errors import (
+    NetworkError,
+    ProtectionViolation,
+    QueueError,
+    TranslationError,
+)
 from repro.mem.sram import PORT_IBUS, DualPortedSRAM
 from repro.net.packet import PRIORITY_HIGH, PRIORITY_LOW, Packet, PacketKind
 from repro.niu.commands import Command, CommandQueue, REMOTE_CMDQ, REMOTE_CMDQ_HIGH
@@ -94,6 +99,9 @@ class Ctrl:
         self.post_sp_event: Callable[[Tuple], None] = lambda ev: None
         #: clsSRAM (set when S-COMA support is configured).
         self.cls = None
+        #: set by fault injection when this node dies: the NIU sinks all
+        #: arriving traffic (the fabric sees a dead node, not a wedged one).
+        self.crashed = False
 
         self._tx_work: Optional["Event"] = None
         self._rx_space: Dict[int, "Event"] = {}
@@ -353,6 +361,9 @@ class Ctrl:
             yield self.engine.timeout(self.op_ns)
             yield from self.deliver(dst_queue, self.node_id, payload)
             return
+        route = self._route_or_drop(dst_node)
+        if route is None:
+            return
         pkt = Packet(
             PacketKind.DATA,
             src=self.node_id,
@@ -360,7 +371,7 @@ class Ctrl:
             dst_queue=dst_queue,
             payload=payload,
             priority=priority,
-            route=self._route(dst_node),
+            route=route,
             header_bytes=self.config.network.header_bytes,
         )
         yield self.tx_fifo.put(pkt)
@@ -374,6 +385,9 @@ class Ctrl:
             which = REMOTE_CMDQ_HIGH if priority == PRIORITY_HIGH else REMOTE_CMDQ
             yield self.cmdqs[which].enqueue(command)
             return
+        route = self._route_or_drop(dst_node)
+        if route is None:
+            return
         pkt = Packet(
             PacketKind.COMMAND,
             src=self.node_id,
@@ -381,7 +395,7 @@ class Ctrl:
             dst_queue=0,
             payload=b"",
             priority=priority,
-            route=self._route(dst_node),
+            route=route,
             command=command,
             header_bytes=self.config.network.header_bytes,
         )
@@ -390,6 +404,21 @@ class Ctrl:
     def _route(self, dst_node: int) -> List[int]:
         assert self.net_port is not None, "no network attached"
         return self.net_port.network.route(self.node_id, dst_node)
+
+    def _route_or_drop(self, dst_node: int) -> Optional[List[int]]:
+        """Route to ``dst_node``, or ``None`` when downed links have
+        partitioned it away — the message is silently lost exactly like a
+        packet on a dead wire (the reliability firmware's problem), but
+        only when faults are actually in play; a healthy network still
+        raises on nonsense destinations."""
+        net = self.net_port.network
+        try:
+            return self._route(dst_node)
+        except NetworkError:
+            if not net.down_links:
+                raise
+            self.stats.counter(f"{self.name}.tx_unroutable").incr()
+            return None
 
     def _txu(self):
         """TxU: drain the hardware FIFO into the network."""
@@ -412,6 +441,15 @@ class Ctrl:
         while True:
             pkt: Packet = yield self.net_port.receive(priority)
             yield self.engine.timeout(self.op_ns)
+            if self.crashed:
+                self._rx_drop(pkt.dst_queue, "crashed")
+                continue
+            if not pkt.verify_checksum():
+                # wire corruption: detected here, counted, dropped.  The
+                # real Arctic CRC-checks per packet; recovery is firmware's
+                # job (the ack/retransmit protocol sees it as a loss).
+                self._rx_drop(pkt.dst_queue, "corrupt")
+                continue
             if pkt.kind is PacketKind.COMMAND:
                 if pkt.command is not None:
                     pkt.command._src_node = pkt.src  # type: ignore[attr-defined]
@@ -441,10 +479,18 @@ class Ctrl:
                 span.end(outcome="miss")
             return
         q = self.rx_queues[slot]
+        if not q.enabled:
+            # protection shut this queue down; arrivals bounce until
+            # software re-arms it
+            q.drops += 1
+            self._rx_drop(logical_q, "shutdown")
+            if span is not None:
+                span.end(outcome="shutdown")
+            return
         while q.is_full:
             if q.full_policy is FullPolicy.DROP:
                 q.drops += 1
-                self.stats.counter(f"{self.name}.rx_drops").incr()
+                self._rx_drop(logical_q, "full")
                 if span is not None:
                     span.end(outcome="drop")
                 return
@@ -478,6 +524,15 @@ class Ctrl:
             span.end(bytes=len(payload))
         if q.interrupt_on_arrival:
             self.post_sp_event(("rxmsg", slot, q.logical_id))
+
+    def _rx_drop(self, logical_q: int, reason: str) -> None:
+        """Account one rx drop: which logical queue lost it, and why
+        (``full`` / ``shutdown`` / ``corrupt`` / ``crashed``)."""
+        self.stats.counter(f"{self.name}.rx_drops.q{logical_q}.{reason}").incr()
+        tr = self.tracer
+        if tr is not None and tr.active:
+            tr.instant("niu.rx_drop", source=self.name, node=self.node_id,
+                       track=f"rxq{logical_q}", reason=reason)
 
     def _to_missq(self, item: Tuple) -> Generator["Event", None, None]:
         self.stats.counter(f"{self.name}.rx_missq").incr()

@@ -90,6 +90,15 @@ NOTIFY_QUEUE = 7
 #: sP-owned bulk-data queue (Approach-2 chunks land here; firmware reads
 #: descriptors only and moves the payload bytes by command).
 SP_BULK_QUEUE = 8
+#: sP-owned reliable-delivery queue: go-back-N DATA segments from remote
+#: reliability firmware land here (acks ride the protocol queue).
+SP_REL_QUEUE = 9
+#: sP-owned reliable-transmit queue: the aP's reliable-send requests
+#: loop back into this queue; firmware drains it only while the go-back-N
+#: window has room, so a full window backpressures the aP end to end
+#: (kept separate from SP_REL_QUEUE — a stalled local sender must never
+#: head-of-line-block incoming DATA, or two windowed peers deadlock).
+SP_REL_TX_QUEUE = 10
 
 #: window offsets inside the NIU control area.
 PTR_WINDOW_OFF = 0x000000
@@ -236,12 +245,17 @@ class NIU:
             q.full_policy = FullPolicy.BLOCK
         self._add_queue("rx", BANK_A, EXPRESS_RX_LOGICAL).full_policy = \
             FullPolicy.BLOCK
-        for logical in (SP_SERVICE_QUEUE, SP_PROTOCOL_QUEUE, SP_BULK_QUEUE):
+        for logical in (SP_SERVICE_QUEUE, SP_PROTOCOL_QUEUE, SP_BULK_QUEUE,
+                        SP_REL_QUEUE, SP_REL_TX_QUEUE):
             q = self._add_queue("rx", BANK_S, logical)
             q.interrupt_on_arrival = True
         # bulk data must never divert to the miss queue: backpressure the
-        # (low-priority) network instead
-        self.ap_rx_slot(SP_BULK_QUEUE).full_policy = FullPolicy.BLOCK
+        # (low-priority) network instead.  Same for the reliable queues:
+        # DATA segments backpressure the fabric, and reliable-send
+        # requests backpressure the aP's loopback path (the protocol's
+        # flow control depends on it).
+        for logical in (SP_BULK_QUEUE, SP_REL_QUEUE, SP_REL_TX_QUEUE):
+            self.ap_rx_slot(logical).full_policy = FullPolicy.BLOCK
         self._add_queue("rx", BANK_A, NOTIFY_QUEUE).full_policy = \
             FullPolicy.BLOCK
 

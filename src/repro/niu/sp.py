@@ -61,6 +61,10 @@ class ServiceProcessor:
         self.state: Dict[str, Any] = {}
         self.dispatched = 0
         self.unhandled = 0
+        #: set by fault injection when this node dies or the sP wedges:
+        #: the kernel stops dispatching (checked between events only — a
+        #: handler mid-flight finishes, like a real halt at the next fetch).
+        self.halted = False
         self._started = False
 
     # -- firmware installation -------------------------------------------------
@@ -98,8 +102,10 @@ class ServiceProcessor:
 
     def _kernel(self):
         tr = self.tracer
-        while True:
+        while not self.halted:
             event = yield self.sbiu.events.get()  # idle while waiting
+            if self.halted:
+                return
             self.busy.begin()
             kind = event[0]
             span = (tr.span(f"sp.{kind}", source=self.name,

@@ -19,7 +19,7 @@ tracker to compare per-approach processor overhead.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
 
 from repro.bus.ops import BusOpType, BusTransaction
 from repro.common.config import MachineConfig
@@ -105,6 +105,9 @@ class AppProcessor:
         self.tracer = node.tracer
         self.loads = 0
         self.stores = 0
+        #: every program ever started on this aP; fault injection kills
+        #: the live ones when the node crashes.
+        self.programs: List["Process"] = []
 
     # -- program execution ----------------------------------------------------
 
@@ -116,9 +119,11 @@ class AppProcessor:
         protection (0 = kernel: accepted everywhere).
         """
         api = ApApi(self, pid=pid)
-        return self.engine.process(
+        proc = self.engine.process(
             program(api, *args), name=name or f"{self.name}.{program.__name__}"
         )
+        self.programs.append(proc)
+        return proc
 
     # -- memory access routing ----------------------------------------------------
 

@@ -103,7 +103,7 @@ def test_queue_cache_many_logical_queues(m2):
     rings = {
         logical: declare_dram_queue(node1.sp, logical,
                                     0x30000 + i * 0x2000, depth=8)
-        for i, logical in enumerate((10, 11, 12))
+        for i, logical in enumerate((11, 12, 13))
     }
     readers = {q: DramQueueReader(r) for q, r in rings.items()}
     port0 = BasicPort(m2.node(0), 0, 0)
@@ -111,7 +111,7 @@ def test_queue_cache_many_logical_queues(m2):
 
     def sender(api):
         for i in range(12):
-            logical = (10, 11, 12, 0)[i % 4]
+            logical = (11, 12, 13, 0)[i % 4]
             yield from port0.send(api, vdst_for(1, logical),
                                   bytes([logical, i]))
 
@@ -120,7 +120,7 @@ def test_queue_cache_many_logical_queues(m2):
         for _ in range(3):
             _s, p = yield from port1.recv(api)
             fast.append(tuple(p))
-        for logical in (10, 11, 12):
+        for logical in (11, 12, 13):
             for _ in range(3):
                 _s, p = yield from readers[logical].recv(api)
                 slow.append(tuple(p))
@@ -129,7 +129,7 @@ def test_queue_cache_many_logical_queues(m2):
     m2.spawn(0, sender)
     fast, slow = m2.run_until(m2.spawn(1, receiver), limit=1e10)
     assert all(p[0] == 0 for p in fast)
-    assert sorted(p[0] for p in slow) == [10, 10, 10, 11, 11, 11, 12, 12, 12]
+    assert sorted(p[0] for p in slow) == [11, 11, 11, 12, 12, 12, 13, 13, 13]
     assert node1.ctrl.rx_cache.misses >= 9
 
 
