@@ -208,7 +208,19 @@ def main(argv=None):
                              "byte-identical for any value; default 1)")
     parser.add_argument("--out-dir", default=RESULTS_DIR,
                         help="artifact directory (default benchmarks/results)")
+    parser.add_argument("--sanitize", default=None, metavar="NAMES",
+                        help="run every point with these runtime sanitizers "
+                             "installed (comma-separated names or 'all'; "
+                             "see repro.analysis.sanitize)")
     args = parser.parse_args(argv)
+
+    if args.sanitize:
+        from repro.analysis.sanitize import resolve_sanitizers
+
+        resolve_sanitizers(args.sanitize, env="")  # fail fast on typos
+        # the environment propagates to sweep pool workers, so every
+        # point's machine comes up with the checkers installed
+        os.environ["REPRO_SANITIZE"] = args.sanitize
 
     points = fault_sweep(jobs=args.jobs)
     rows = [[p["workload"], p["loss"], p["reliable"], p["sent"],

@@ -1,0 +1,22 @@
+"""Static and runtime correctness tooling.
+
+Two halves, one goal — keeping the simulator's results trustworthy:
+
+* :mod:`repro.analysis.lint` — a project-specific AST lint pass
+  (determinism rules DET001–DET004, layering rule ARCH001, hot-path
+  ``__slots__`` rule PERF001), runnable as
+  ``python -m repro.analysis lint [--json] PATH...``;
+* :mod:`repro.analysis.sanitize` — pluggable runtime invariant
+  checkers (credit conservation, queue overwrites, clsSRAM coherence
+  legality, deadlock watchdog) installed via
+  ``MachineConfig(sanitize=...)`` or the ``REPRO_SANITIZE`` environment
+  variable.
+"""
+
+from repro.analysis.sanitize import SANITIZER_NAMES, SanitizerLayer, resolve_sanitizers
+
+__all__ = [
+    "SANITIZER_NAMES",
+    "SanitizerLayer",
+    "resolve_sanitizers",
+]

@@ -1,0 +1,541 @@
+"""Runtime invariant checkers ("sanitizers") for the simulated machine.
+
+Where :mod:`repro.analysis.lint` checks the *source*, this module checks
+the *running machine*: pluggable engine checkers that watch protocol
+state as the simulation executes and raise
+:class:`~repro.common.errors.SanitizerError` the moment an invariant
+breaks — at the offending transition, not at a corrupted result three
+experiments later.
+
+=========== ==========================================================
+name        invariant
+=========== ==========================================================
+credit      per-link, per-priority flow-control credits are conserved:
+            never returned twice, and every credit drained from the
+            pool is accounted for (in flight or buffered) whenever the
+            event queue fully drains — including the fault-injection
+            drop path, which must hand its credit back
+queue       no SRAM write lands on an unconsumed hardware-queue entry
+            (producer overrun corrupting live messages), and reliable
+            go-back-N flows keep their windows legal: at most
+            ``window`` unacked segments with consecutive sequence
+            numbers, and no received DATA sequence beyond
+            ``expected + window``
+coherence   clsSRAM S-COMA transitions are legal: hardware (the aBIU
+            table walk) may only mark lines PENDING from INVALID or
+            RO, and no data-carrying fill *downgrades* an RW line —
+            the owner holds the only up-to-date copy, so such a fill
+            is a re-granted duplicate request overwriting modified
+            data with stale home data
+deadlock    when the event queue drains while non-daemon processes are
+            still blocked, fail with a wait-for graph instead of
+            silently returning
+=========== ==========================================================
+
+Enable via ``MachineConfig(sanitize=("credit", "queue"))``, the string
+``"all"``, or the ``REPRO_SANITIZE`` environment variable (same syntax;
+merged with the config).  An unsanitized machine installs nothing: the
+hooks this module attaches to are ``None``-guarded attributes, so the
+off path costs one attribute test on a handful of rare operations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.common.errors import ConfigError, DeadlockError, SanitizerError
+from repro.mem.backing import ByteBacking
+from repro.niu.clssram import CLS_INVALID, CLS_PENDING, CLS_RO, CLS_RW
+from repro.sim.store import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import StarTVoyager
+    from repro.firmware.reliable import _Flow
+    from repro.net.link import Link
+    from repro.niu.clssram import ClsSram
+    from repro.niu.queues import QueueState
+    from repro.niu.sp import ServiceProcessor
+    from repro.sim.process import Process
+
+#: installable checkers, in install order.
+SANITIZER_NAMES: Tuple[str, ...] = ("credit", "queue", "coherence", "deadlock")
+
+
+def _parse(spec: Union[str, Iterable[str], None]) -> Tuple[str, ...]:
+    if not spec:
+        return ()
+    if isinstance(spec, str):
+        spec = spec.split(",")
+    chosen = set()
+    for raw in spec:
+        name = raw.strip().lower()
+        if not name:
+            continue
+        if name == "all":
+            chosen.update(SANITIZER_NAMES)
+        elif name in SANITIZER_NAMES:
+            chosen.add(name)
+        else:
+            raise ConfigError(
+                f"unknown sanitizer {name!r}; choose from "
+                f"{', '.join(SANITIZER_NAMES)} or 'all'"
+            )
+    return tuple(n for n in SANITIZER_NAMES if n in chosen)
+
+
+def resolve_sanitizers(
+    spec: Union[str, Iterable[str], None] = (),
+    env: Optional[str] = None,
+) -> Tuple[str, ...]:
+    """Union of the config spec and the ``REPRO_SANITIZE`` environment
+    variable, normalized to canonical order.  ``env`` overrides the real
+    environment (testing)."""
+    if env is None:
+        import os
+
+        env = os.environ.get("REPRO_SANITIZE", "")
+    chosen = set(_parse(spec)) | set(_parse(env))
+    return tuple(n for n in SANITIZER_NAMES if n in chosen)
+
+
+# ----------------------------------------------------------------------
+# credit conservation
+# ----------------------------------------------------------------------
+
+
+class _CreditLane:
+    """Conservation ledger for one (link, priority) flow-control lane."""
+
+    __slots__ = ("name", "capacity", "buffer_store", "held", "acquires", "returns")
+
+    def __init__(self, name: str, capacity: int, buffer_store: Store) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.buffer_store = buffer_store
+        #: credits currently out of the pool (in flight or buffered).
+        self.held = 0
+        self.acquires = 0
+        self.returns = 0
+
+    def on_acquire(self) -> None:
+        self.held += 1
+        self.acquires += 1
+
+    def on_return(self) -> None:
+        self.held -= 1
+        self.returns += 1
+        if self.held < 0:
+            raise SanitizerError(
+                f"credit double-return on lane {self.name}: more credits "
+                f"returned ({self.returns}) than acquired ({self.acquires})"
+            )
+
+    def on_drain(self) -> None:
+        # With the event queue fully drained nothing is in flight, so
+        # every outstanding credit must correspond to a packet still
+        # sitting unconsumed in the receive buffer.
+        buffered = len(self.buffer_store)
+        if self.held != buffered:
+            raise SanitizerError(
+                f"credit leak on lane {self.name}: {self.held} credit(s) "
+                f"outstanding but {buffered} packet(s) buffered at drain "
+                f"(capacity {self.capacity}, {self.acquires} acquired / "
+                f"{self.returns} returned)"
+            )
+
+
+class _TapCreditStore(Store):
+    """Credit :class:`Store` that notifies its lane on every movement."""
+
+    __slots__ = ("_san_lane",)
+
+    def _accept(self, item: Any) -> None:
+        # A put that hands off directly to a blocked sender re-issues the
+        # credit in the same step: return + acquire, net zero held.
+        handoff = any(not ev.triggered for ev in self._getters)
+        super()._accept(item)
+        if not handoff:
+            self._san_lane.on_return()
+
+    def _pop(self) -> Any:
+        item = super()._pop()
+        self._san_lane.on_acquire()
+        return item
+
+
+class CreditSanitizer:
+    """Per-link flow-control credit conservation."""
+
+    name = "credit"
+
+    def __init__(self, machine: "StarTVoyager") -> None:
+        self.machine = machine
+        self.lanes: List[_CreditLane] = []
+
+    def install(self) -> None:
+        network = self.machine.network
+        if network is None:
+            return
+        for link in network.links:
+            self._tap_link(link)
+
+    def _tap_link(self, link: "Link") -> None:
+        for priority, credits in enumerate(link._credits):
+            lane = _CreditLane(
+                f"{link.name}.p{priority}",
+                credits.capacity,
+                link._buffers[priority],
+            )
+            tap = _TapCreditStore(credits.engine, credits.capacity, credits.name)
+            tap._items.extend(credits._items)
+            tap._getters.extend(credits._getters)
+            tap._putters.extend(credits._putters)
+            tap.total_put = credits.total_put
+            tap.total_got = credits.total_got
+            tap.peak_depth = credits.peak_depth
+            tap._san_lane = lane
+            link._credits[priority] = tap
+            self.lanes.append(lane)
+
+    def on_drain(self) -> None:
+        for lane in self.lanes:
+            lane.on_drain()
+
+    def report(self) -> Dict[str, int]:
+        return {
+            "lanes": len(self.lanes),
+            "acquires": sum(lane.acquires for lane in self.lanes),
+            "returns": sum(lane.returns for lane in self.lanes),
+        }
+
+
+# ----------------------------------------------------------------------
+# queue overwrites + reliable-protocol windows
+# ----------------------------------------------------------------------
+
+
+class _TapBacking(ByteBacking):
+    """SRAM backing that routes every write past a bank guard first."""
+
+    __slots__ = ("_san_guard",)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._san_guard.check(offset, len(data))
+        super().write(offset, data)
+
+    def write_parts(self, offset: int, parts: Iterable[bytes]) -> int:
+        parts = tuple(parts)
+        self._san_guard.check(offset, sum(len(p) for p in parts))
+        return super().write_parts(offset, parts)
+
+    def fill(self, offset: int, length: int, value: int = 0) -> None:
+        self._san_guard.check(offset, length)
+        super().fill(offset, length, value)
+
+
+class _BankGuard:
+    """Watches one SRAM bank for writes into unconsumed queue entries."""
+
+    __slots__ = ("sanitizer", "ctrl", "bank")
+
+    def __init__(self, sanitizer: "QueueSanitizer", ctrl: Any, bank: int) -> None:
+        self.sanitizer = sanitizer
+        self.ctrl = ctrl
+        self.bank = bank
+
+    def check(self, offset: int, length: int) -> None:
+        if length <= 0:
+            return
+        self.sanitizer.writes_checked += 1
+        for q in self.ctrl.tx_queues:
+            if q.bank == self.bank:
+                self._check_queue(q, offset, length)
+        for q in self.ctrl.rx_queues:
+            if q.bank == self.bank:
+                self._check_queue(q, offset, length)
+
+    def _check_queue(self, q: "QueueState", offset: int, length: int) -> None:
+        consumer, producer = q.consumer, q.producer
+        if consumer == producer:
+            return
+        end = offset + length
+        span_base = q.base
+        span_end = q.base + q.depth * q.entry_bytes
+        if end <= span_base or offset >= span_end:
+            return
+        for entry in range(consumer, producer):
+            slot = q.slot_offset(entry)
+            if offset < slot + q.entry_bytes and end > slot:
+                raise SanitizerError(
+                    f"{self.ctrl.name}: SRAM write [{offset:#x}, {end:#x}) "
+                    f"overwrites unconsumed entry {entry} of "
+                    f"{q.kind.value}{q.index} (slot [{slot:#x}, "
+                    f"{slot + q.entry_bytes:#x}), occupancy {q.occupancy})"
+                )
+
+
+class QueueSanitizer:
+    """Unconsumed-slot overwrites and reliable-window legality."""
+
+    name = "queue"
+
+    def __init__(self, machine: "StarTVoyager") -> None:
+        self.machine = machine
+        self.writes_checked = 0
+        self.rel_tx_checked = 0
+        self.rel_rx_checked = 0
+
+    def install(self) -> None:
+        for node in self.machine.nodes:
+            ctrl = node.ctrl
+            for bank, sram in enumerate((ctrl.asram, ctrl.ssram)):
+                guard = _BankGuard(self, ctrl, bank)
+                sram.backing = self._tap(sram.backing, guard)
+            node.sp.sanitizer = self
+
+    @staticmethod
+    def _tap(backing: ByteBacking, guard: _BankGuard) -> _TapBacking:
+        # Shares the live bytearray/memoryview: views handed out earlier
+        # keep aliasing the same storage, only the write path changes.
+        tap = _TapBacking.__new__(_TapBacking)
+        tap.size = backing.size
+        tap.name = backing.name
+        tap._data = backing._data
+        tap._mv = backing._mv
+        tap._san_guard = guard
+        return tap
+
+    # -- reliable-protocol hooks (called from firmware/reliable.py) --------
+
+    def on_rel_tx(self, sp: "ServiceProcessor", flow: "_Flow") -> None:
+        """After a segment enters the window: bounded and consecutive."""
+        from repro.firmware.reliable import SEQ_MOD
+
+        self.rel_tx_checked += 1
+        window = sp.ctrl.config.reliability.window
+        pending = flow.pending
+        if len(pending) > window:
+            raise SanitizerError(
+                f"{sp.name}: reliable flow to node {flow.dst} holds "
+                f"{len(pending)} unacked segments (window {window})"
+            )
+        first = pending[0][0]
+        for i, (seq, _q, _payload) in enumerate(pending):
+            if seq != (first + i) % SEQ_MOD:
+                raise SanitizerError(
+                    f"{sp.name}: reliable flow to node {flow.dst} window "
+                    f"is not consecutive: entry {i} has seq {seq}, "
+                    f"expected {(first + i) % SEQ_MOD}"
+                )
+
+    def on_rel_rx(self, sp: "ServiceProcessor", src: int, seq: int,
+                  expected: int) -> None:
+        """A DATA arrival must sit at or behind ``expected + window``."""
+        from repro.firmware.reliable import SEQ_MOD, seq_lt
+
+        self.rel_rx_checked += 1
+        window = sp.ctrl.config.reliability.window
+        horizon = (expected + window) % SEQ_MOD
+        if seq_lt(horizon, seq):
+            raise SanitizerError(
+                f"{sp.name}: reliable DATA from node {src} carries seq "
+                f"{seq}, beyond the legal window [{expected}, {horizon}] "
+                f"— sender violated go-back-N"
+            )
+
+    def on_drain(self) -> None:
+        pass
+
+    def report(self) -> Dict[str, int]:
+        return {
+            "writes_checked": self.writes_checked,
+            "rel_tx_checked": self.rel_tx_checked,
+            "rel_rx_checked": self.rel_rx_checked,
+        }
+
+
+# ----------------------------------------------------------------------
+# clsSRAM coherence legality
+# ----------------------------------------------------------------------
+
+#: the four S-COMA states the default protocol uses; transitions among
+#: other 4-bit values belong to experimental protocols and are ignored.
+_SCOMA_STATES = frozenset({CLS_INVALID, CLS_PENDING, CLS_RO, CLS_RW})
+
+#: hardware (aBIU table walk) may only mark a fetch/upgrade in flight.
+_HW_LEGAL = frozenset({
+    (CLS_INVALID, CLS_PENDING),  # read/write miss -> fetch pending
+    (CLS_RO, CLS_PENDING),       # write upgrade -> upgrade pending
+})
+
+#: data-carrying fills (a grant or push writing data into the frame as
+#: it sets the state) must never *downgrade* an RW line.  An RW line
+#: holds the only up-to-date copy; depositing data while taking write
+#: permission away is the stale-grant race the home firmware's
+#: duplicate-request drop exists to prevent — home data silently
+#: overwriting the owner's modifications.  RW -> RW fills stay legal:
+#: Approach-4/5 block transfer streams 80-byte chunks over 32-byte
+#: lines, so a straddling chunk re-fills a line the previous chunk just
+#: flipped RW.  Plain (data-free) state writes are protocol-driven (the
+#: default S-COMA firmware services misses with the line simply
+#: INVALID; block transfer arms lines PENDING from any state), so no
+#: static pair table constrains them.
+
+
+def _state_name(state: int) -> str:
+    return {CLS_INVALID: "INVALID", CLS_PENDING: "PENDING",
+            CLS_RO: "RO", CLS_RW: "RW"}.get(state, f"custom({state})")
+
+
+class CoherenceSanitizer:
+    """Legal-transition checking on every clsSRAM state write."""
+
+    name = "coherence"
+
+    def __init__(self, machine: "StarTVoyager") -> None:
+        self.machine = machine
+        self.hw_checked = 0
+        self.fw_checked = 0
+
+    def install(self) -> None:
+        for node in self.machine.nodes:
+            cls = node.ctrl.cls
+            if cls is not None:
+                cls.sanitizer = self
+
+    def on_hw_transition(self, cls: "ClsSram", line: int, old: int,
+                         new: int, op: Any) -> None:
+        self.hw_checked += 1
+        if old == new:
+            return
+        if old not in _SCOMA_STATES or new not in _SCOMA_STATES:
+            return
+        if (old, new) not in _HW_LEGAL:
+            raise SanitizerError(
+                f"illegal clsSRAM hardware transition on line {line} "
+                f"(addr {cls.addr_of(line):#x}): {_state_name(old)} -> "
+                f"{_state_name(new)} on {op} — the aBIU may only mark "
+                f"INVALID/RO lines PENDING"
+            )
+
+    def on_fw_transition(self, cls: "ClsSram", line: int, old: int,
+                         new: int, fill: bool = False) -> None:
+        self.fw_checked += 1
+        if old not in _SCOMA_STATES or new not in _SCOMA_STATES:
+            return
+        if fill and old == CLS_RW and new != CLS_RW:
+            raise SanitizerError(
+                f"illegal clsSRAM fill on line {line} "
+                f"(addr {cls.addr_of(line):#x}): data-carrying "
+                f"{_state_name(old)} -> {_state_name(new)} downgrade "
+                f"would overwrite the owner's modified frame with stale "
+                f"home data (re-granted duplicate request?)"
+            )
+
+    def on_drain(self) -> None:
+        pass
+
+    def report(self) -> Dict[str, int]:
+        return {"hw_checked": self.hw_checked, "fw_checked": self.fw_checked}
+
+
+# ----------------------------------------------------------------------
+# deadlock watchdog
+# ----------------------------------------------------------------------
+
+
+class DeadlockWatchdog:
+    """Wait-for-graph dump when the event queue drains with work stuck."""
+
+    name = "deadlock"
+
+    def __init__(self, machine: "StarTVoyager") -> None:
+        self.machine = machine
+
+    def install(self) -> None:
+        engine = self.machine.engine
+        if engine.process_registry is None:
+            engine.process_registry = []
+        engine.deadlock_dump = self.dump
+
+    def _alive(self) -> List["Process"]:
+        registry = self.machine.engine.process_registry
+        if registry is None:
+            return []
+        alive = [p for p in registry if p.is_alive]
+        registry[:] = alive  # prune finished processes as we go
+        return alive
+
+    def dump(self) -> str:
+        """Render the wait-for graph of every live registered process."""
+        lines = []
+        for proc in self._alive():
+            target = proc._waiting_on
+            kind = "daemon " if proc.daemon else ""
+            if target is None:
+                waits = "(not waiting — never started or mid-step)"
+            else:
+                waits = f"-> {type(target).__name__} {target.name!r}"
+            lines.append(f"  {kind}process {proc.name!r} {waits}")
+        if not lines:
+            return ""
+        return "wait-for graph at drain:\n" + "\n".join(lines)
+
+    def on_drain(self) -> None:
+        blocked = [p for p in self._alive() if not p.daemon]
+        if blocked:
+            names = ", ".join(repr(p.name) for p in blocked[:8])
+            raise DeadlockError(
+                f"event queue drained with {len(blocked)} blocked "
+                f"process(es): {names}\n{self.dump()}"
+            )
+
+    def report(self) -> Dict[str, int]:
+        return {"tracked": len(self._alive())}
+
+
+# ----------------------------------------------------------------------
+# the layer
+# ----------------------------------------------------------------------
+
+_FACTORIES = {
+    "credit": CreditSanitizer,
+    "queue": QueueSanitizer,
+    "coherence": CoherenceSanitizer,
+    "deadlock": DeadlockWatchdog,
+}
+
+
+class SanitizerLayer:
+    """The machine's installed checkers (``machine.sanitizers``)."""
+
+    def __init__(self, machine: "StarTVoyager",
+                 names: Union[str, Iterable[str]]) -> None:
+        self.machine = machine
+        self.names = resolve_sanitizers(names, env="")
+        self.checkers = [_FACTORIES[name](machine) for name in self.names]
+
+    def install(self) -> None:
+        for checker in self.checkers:
+            checker.install()
+        # The watchdog drains first: a stuck process is usually the root
+        # cause behind any credit/queue imbalance seen at the same drain.
+        order = sorted(
+            self.checkers,
+            key=lambda c: 0 if isinstance(c, DeadlockWatchdog) else 1,
+        )
+        if self.checkers:
+            self.machine.engine.drain_hooks.append(
+                lambda: [c.on_drain() for c in order]
+            )
+
+    def checker(self, name: str) -> Any:
+        """The installed checker named ``name`` (raises when absent)."""
+        for c in self.checkers:
+            if c.name == name:
+                return c
+        raise ConfigError(f"sanitizer {name!r} is not installed")
+
+    def report(self) -> Dict[str, Dict[str, int]]:
+        """Per-checker activity counters (proof the checkers ran)."""
+        return {c.name: c.report() for c in self.checkers}

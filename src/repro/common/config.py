@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.common.errors import ConfigError
 from repro.common.units import KB, MB, is_power_of_two, mbps_to_ns_per_byte, mhz_to_ns
@@ -390,11 +390,20 @@ class MachineConfig:
     install_firmware: bool = True
     #: S-COMA home node per covered line (None = round-robin by page).
     scoma_home_of: Optional[List[int]] = None
+    #: runtime invariant checkers to install at machine assembly: a tuple
+    #: of names from :data:`repro.analysis.sanitize.SANITIZER_NAMES`
+    #: (``credit``, ``queue``, ``coherence``, ``deadlock``), or the
+    #: string ``"all"``, or a comma-separated string.  Merged with the
+    #: ``REPRO_SANITIZE`` environment variable; empty (the default)
+    #: installs nothing and costs nothing.
+    sanitize: Union[str, Tuple[str, ...]] = ()
 
     def validate(self) -> "MachineConfig":
         """Check cross-field consistency; returns self for chaining."""
         if self.n_nodes < 1:
             raise ConfigError("need at least one node")
+        if not isinstance(self.sanitize, str):
+            self.sanitize = tuple(self.sanitize)
         if self.scoma_home_of is not None:
             bad = [h for h in self.scoma_home_of
                    if not (0 <= h < self.n_nodes)]

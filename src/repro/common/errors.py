@@ -68,3 +68,13 @@ class FirmwareError(ReproError):
 
 class ProgramError(ReproError):
     """A user program performed an illegal operation on the aP."""
+
+
+class SanitizerError(ReproError):
+    """A runtime invariant checker caught a protocol violation.
+
+    Raised by the :mod:`repro.analysis.sanitize` checkers (credit
+    conservation, queue overwrite, coherence legality, deadlock
+    watchdog) the moment the invariant breaks, so the failure points at
+    the offending transition rather than at a corrupted result later.
+    """

@@ -29,6 +29,7 @@ from __future__ import annotations
 import warnings
 from typing import Any, Callable, Generator, List, Optional, Union
 
+from repro.analysis.sanitize import resolve_sanitizers
 from repro.common.config import MachineConfig, default_config
 from repro.net.packet import PRIORITY_HIGH, PRIORITY_LOW
 from repro.net.network import ArcticNetwork
@@ -100,6 +101,16 @@ class StarTVoyager:
             config.faults.validate(config.n_nodes)
             self.fault_injector = FaultInjector(self, config.faults)
             self.fault_injector.arm()
+        #: runtime invariant checkers (:mod:`repro.analysis.sanitize`);
+        #: None unless ``config.sanitize`` or ``REPRO_SANITIZE`` names
+        #: any — an unsanitized machine carries no checker state at all.
+        self.sanitizers = None
+        sanitize = resolve_sanitizers(config.sanitize)
+        if sanitize:
+            from repro.analysis.sanitize import SanitizerLayer
+
+            self.sanitizers = SanitizerLayer(self, sanitize)
+            self.sanitizers.install()
 
     # -- construction helpers ---------------------------------------------------
 

@@ -62,7 +62,8 @@ def setup_dma_engine(sp: "ServiceProcessor") -> None:
     sp.state["dma_requests"] = Store(sp.engine, capacity=None,
                                      name=f"{sp.name}.dmareq")
     register_msg_handler(sp, proto.MSG_DMA_REQ, intake_dma_request)
-    sp.engine.process(_dma_engine_task(sp), name=f"{sp.name}.dma_engine")
+    sp.engine.process(_dma_engine_task(sp), name=f"{sp.name}.dma_engine",
+                      daemon=True)
 
 
 def intake_dma_request(sp: "ServiceProcessor", src: int, payload: bytes

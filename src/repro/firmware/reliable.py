@@ -207,6 +207,9 @@ def _send_segment(sp: "ServiceProcessor", st: ReliableState, flow: _Flow,
     seq = flow.seq_next
     flow.seq_next = (seq + 1) % SEQ_MOD
     flow.pending.append((seq, dst_queue, user))
+    san = sp.sanitizer
+    if san is not None:
+        san.on_rel_tx(sp, flow)
     sp.stats.counter(f"{sp.name}.rel.segments").incr()
     yield from _rel_send(sp, st, flow.dst, SP_REL_QUEUE,
                          pack_rel_data(dst_queue, seq) + user)
@@ -294,6 +297,9 @@ def on_rel_data(sp: "ServiceProcessor", src: int, payload: bytes
     st = _state(sp)
     dst_queue, seq, user = unpack_rel_data(payload)
     expected = st.rx_expected.get(src, 0)
+    san = sp.sanitizer
+    if san is not None:
+        san.on_rel_rx(sp, src, seq, expected)
     if seq == expected:
         st.rx_expected[src] = expected = (expected + 1) % SEQ_MOD
         sp.stats.counter(f"{sp.name}.rel.delivered").incr()

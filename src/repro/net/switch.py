@@ -67,6 +67,7 @@ class ArcticSwitch:
                 self.engine.process(
                     self._forward(link, priority),
                     name=f"{self.name}.in{port}.p{priority}",
+                    daemon=True,
                 )
 
     def _forward(self, in_link: Link, priority: int):

@@ -42,6 +42,17 @@ class ClsAction:
 class ClsSram:
     """State bits for a window of DRAM, plus the reaction table."""
 
+    __slots__ = (
+        "cover_base",
+        "n_lines",
+        "line_bytes",
+        "_states",
+        "_table",
+        "checks",
+        "retries",
+        "sanitizer",
+    )
+
     def __init__(self, cover_base: int, n_lines: int, line_bytes: int) -> None:
         if n_lines <= 0:
             raise ConfigError("clsSRAM must cover at least one line")
@@ -54,6 +65,8 @@ class ClsSram:
         self._table: Dict[Tuple[BusOpType, int], ClsAction] = {}
         self.checks = 0
         self.retries = 0
+        #: coherence sanitizer hook (None = checks disabled, zero cost).
+        self.sanitizer = None
 
     # -- coverage -----------------------------------------------------------
 
@@ -89,12 +102,20 @@ class ClsSram:
             raise AddressError(f"clsSRAM line {line} out of range")
         return self._states[line]
 
-    def set_state(self, line: int, state: int) -> None:
-        """Write a line's state (firmware commands and Approach-5 hardware)."""
+    def set_state(self, line: int, state: int, fill: bool = False) -> None:
+        """Write a line's state (firmware commands and Approach-5 hardware).
+
+        ``fill`` marks data-carrying writes — a grant depositing home data
+        alongside the state change — so the coherence sanitizer can flag
+        fills that would overwrite a locally modified (RW) frame.
+        """
         if not (0 <= state <= 0xF):
             raise AddressError(f"clsSRAM state {state} needs 4 bits")
         if not (0 <= line < self.n_lines):
             raise AddressError(f"clsSRAM line {line} out of range")
+        san = self.sanitizer
+        if san is not None:
+            san.on_fw_transition(self, line, self._states[line], state, fill)
         self._states[line] = state
 
     def set_range(self, first_line: int, n_lines: int, state: int) -> None:
@@ -123,6 +144,9 @@ class ClsSram:
         if action is None:
             return ClsAction()
         if action.next_state is not None:
+            san = self.sanitizer
+            if san is not None:
+                san.on_hw_transition(self, line, state, action.next_state, op)
             self._states[line] = action.next_state
         if action.retry:
             self.retries += 1

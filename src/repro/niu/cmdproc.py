@@ -60,7 +60,7 @@ class CommandProcessor:
     def start(self) -> None:
         """Spawn the drain loop."""
         self.ctrl.engine.process(
-            self._loop(), name=f"{self.ctrl.name}.cmdproc{self.which}"
+            self._loop(), name=f"{self.ctrl.name}.cmdproc{self.which}", daemon=True
         )
 
     def _loop(self):
@@ -80,7 +80,7 @@ class CommandProcessor:
                 first = ctrl.cls.line_of(cmd.addr)
                 n = -(-len(cmd.data) // line_bytes)
                 for line in range(first, first + n):
-                    ctrl.cls.set_state(line, cmd.set_cls_state)
+                    ctrl.cls.set_state(line, cmd.set_cls_state, fill=True)
                 yield ctrl.engine.timeout(n * ctrl.config.bus.cycle_ns)
             if getattr(cmd, "notify_sp", False):
                 ctrl.post_sp_event(("dram_write", cmd.addr, len(cmd.data)))
@@ -228,7 +228,8 @@ class BlockReadUnit:
 
     def start(self) -> None:
         """Spawn the unit's engine."""
-        self.ctrl.engine.process(self._loop(), name=f"{self.ctrl.name}.bru")
+        self.ctrl.engine.process(self._loop(), name=f"{self.ctrl.name}.bru",
+                                 daemon=True)
 
     def _loop(self):
         ctrl = self.ctrl
@@ -258,7 +259,8 @@ class BlockTxUnit:
 
     def start(self) -> None:
         """Spawn the unit's engine."""
-        self.ctrl.engine.process(self._loop(), name=f"{self.ctrl.name}.btu")
+        self.ctrl.engine.process(self._loop(), name=f"{self.ctrl.name}.btu",
+                                 daemon=True)
 
     def _loop(self):
         ctrl = self.ctrl

@@ -245,11 +245,12 @@ class Ctrl:
         if self._started:
             return
         self._started = True
-        self.engine.process(self._tx_engine(), name=f"{self.name}.tx")
-        self.engine.process(self._txu(), name=f"{self.name}.txu")
+        self.engine.process(self._tx_engine(), name=f"{self.name}.tx", daemon=True)
+        self.engine.process(self._txu(), name=f"{self.name}.txu", daemon=True)
         if self.net_port is not None:
             for pri in range(self.config.network.priorities):
-                self.engine.process(self._rx_pump(pri), name=f"{self.name}.rx{pri}")
+                self.engine.process(self._rx_pump(pri), name=f"{self.name}.rx{pri}",
+                                    daemon=True)
 
     def _kick_tx(self) -> None:
         ev = self._tx_work

@@ -215,7 +215,8 @@ class ExpressTxHandler(BusHandler):
         #: the admission check must count them or the queue overruns.
         self._uncommitted = 0
         self.retried_full = 0
-        ctrl.engine.process(self._composer(), name=f"extx{queue.index}.composer")
+        ctrl.engine.process(self._composer(), name=f"extx{queue.index}.composer",
+                            daemon=True)
 
     def decide(self, txn: BusTransaction) -> SnoopResult:
         if txn.op is not BusOpType.WRITE:

@@ -45,6 +45,30 @@ class FullPolicy(enum.Enum):
 class QueueState:
     """Control state of one hardware queue slot inside CTRL."""
 
+    __slots__ = (
+        "kind",
+        "index",
+        "bank",
+        "base",
+        "depth",
+        "entry_bytes",
+        "producer",
+        "consumer",
+        "enabled",
+        "translate",
+        "allow_raw",
+        "priority",
+        "and_mask",
+        "or_mask",
+        "logical_id",
+        "full_policy",
+        "interrupt_on_arrival",
+        "owner_pid",
+        "shadow_offset",
+        "messages",
+        "drops",
+    )
+
     def __init__(
         self,
         kind: QueueKind,

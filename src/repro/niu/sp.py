@@ -66,6 +66,9 @@ class ServiceProcessor:
         #: handler mid-flight finishes, like a real halt at the next fetch).
         self.halted = False
         self._started = False
+        #: protocol sanitizer hook (None = checks disabled, zero cost);
+        #: reliable firmware notifies it of tx-window and rx-seq events.
+        self.sanitizer = None
 
     # -- firmware installation -------------------------------------------------
 
@@ -98,7 +101,7 @@ class ServiceProcessor:
         if self._started:
             return
         self._started = True
-        self.engine.process(self._kernel(), name=f"{self.name}.kernel")
+        self.engine.process(self._kernel(), name=f"{self.name}.kernel", daemon=True)
 
     def _kernel(self):
         tr = self.tracer

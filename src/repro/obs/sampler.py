@@ -47,7 +47,7 @@ class QueueSampler:
         """Spawn the sampling process (idempotent)."""
         if not self._running:
             self._running = True
-            self.machine.engine.process(self._run(), name="obs.sampler")
+            self.machine.engine.process(self._run(), name="obs.sampler", daemon=True)
         return self
 
     def stop(self) -> None:

@@ -34,7 +34,7 @@ from heapq import heappop, heappush
 from time import perf_counter
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
-from repro.common.errors import SimulationError
+from repro.common.errors import DeadlockError, SimulationError
 from repro.sim.events import _PENDING, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import ProcGen, Process
 
@@ -58,6 +58,9 @@ class Engine:
         "strict",
         "events_executed",
         "wall_seconds",
+        "drain_hooks",
+        "deadlock_dump",
+        "process_registry",
     )
 
     def __init__(self) -> None:
@@ -74,6 +77,18 @@ class Engine:
         #: with :attr:`events_executed` this yields the
         #: :attr:`events_per_second` throughput gauge.
         self.wall_seconds = 0.0
+        #: callables invoked whenever run() fully drains the heap — the
+        #: sanitizer layer's hook for end-of-run invariants (credit
+        #: conservation, deadlock detection).  Empty unless sanitizers
+        #: are installed, so the off path costs one empty-list iteration
+        #: per run() call.
+        self.drain_hooks: List[Callable[[], None]] = []
+        #: optional () -> str producing a wait-for-graph dump, appended
+        #: to the drained-queue error in run_until_triggered().
+        self.deadlock_dump: Optional[Callable[[], str]] = None
+        #: when not None, every process created via :meth:`process` is
+        #: appended here (the deadlock watchdog's roster).
+        self.process_registry: Optional[List[Process]] = None
 
     # -- clock -----------------------------------------------------------
 
@@ -92,9 +107,19 @@ class Engine:
         """An event that succeeds ``delay`` ns from now."""
         return Timeout(self, delay, value)
 
-    def process(self, gen: ProcGen, name: str = "") -> Process:
-        """Start a generator as a process at the current time."""
-        return Process(self, gen, name)
+    def process(self, gen: ProcGen, name: str = "", daemon: bool = False) -> Process:
+        """Start a generator as a process at the current time.
+
+        ``daemon`` marks infrastructure service loops (queue pumps,
+        dispatch kernels) that legitimately idle-block forever; the
+        deadlock watchdog ignores them when deciding whether a drained
+        event queue left real work stuck.
+        """
+        proc = Process(self, gen, name, daemon=daemon)
+        registry = self.process_registry
+        if registry is not None:
+            registry.append(proc)
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Join helper: triggers when every event has succeeded."""
@@ -183,6 +208,8 @@ class Engine:
             else:
                 if until is not None:
                     self._now = until
+                for hook in self.drain_hooks:
+                    hook()
         finally:
             self.events_executed += executed
             self.wall_seconds += perf_counter() - t0
@@ -191,9 +218,10 @@ class Engine:
     def run_until_triggered(self, ev: Event, limit: Optional[float] = None) -> Any:
         """Run until ``ev`` triggers; return its value.
 
-        Raises :class:`SimulationError` if the event queue drains first (a
-        deadlock from the waiter's perspective) or the time ``limit`` is
-        hit.
+        Raises :class:`DeadlockError` if the event queue drains first (a
+        deadlock from the waiter's perspective) or :class:`SimulationError`
+        when the time ``limit`` is hit.  When the deadlock watchdog is
+        installed, the drained-queue error carries its wait-for graph.
         """
         heap = self._heap
         crashes = self._crashes
@@ -202,9 +230,13 @@ class Engine:
         try:
             while ev._value is _PENDING and ev._exc is None:  # not triggered
                 if not heap:
-                    raise SimulationError(
-                        f"event queue drained before {ev!r} triggered (deadlock?)"
-                    )
+                    msg = f"event queue drained before {ev!r} triggered (deadlock?)"
+                    dump = self.deadlock_dump
+                    if dump is not None:
+                        detail = dump()
+                        if detail:
+                            msg += "\n" + detail
+                    raise DeadlockError(msg)
                 if limit is not None and heap[0][0] > limit:
                     raise SimulationError(f"time limit {limit} hit before {ev!r}")
                 time, _seq, kind, target, arg = heappop(heap)

@@ -41,9 +41,11 @@ class Process(Event):
     creation order does not leak into event order subtleties).
     """
 
-    __slots__ = ("_gen", "_waiting_on", "_started")
+    __slots__ = ("_gen", "_waiting_on", "_started", "daemon")
 
-    def __init__(self, engine: "Engine", gen: ProcGen, name: str = "") -> None:
+    def __init__(
+        self, engine: "Engine", gen: ProcGen, name: str = "", daemon: bool = False
+    ) -> None:
         if not hasattr(gen, "send"):
             raise SimulationError(
                 f"process body must be a generator, got {type(gen).__name__}; "
@@ -53,6 +55,9 @@ class Process(Event):
         self._gen = gen
         self._waiting_on: Optional[Event] = None
         self._started = False
+        #: infrastructure service loop — expected to idle-block forever,
+        #: invisible to the deadlock watchdog.
+        self.daemon = daemon
         engine._schedule_call(self._first_step)
 
     @property

@@ -15,7 +15,7 @@ import math
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.common.errors import SimulationError
-from repro.obs.histogram import Histogram
+from repro.common.histogram import Histogram
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine

@@ -1,0 +1,330 @@
+"""The project lint pass (:mod:`repro.analysis.lint`).
+
+Every rule must fire on a seeded violation, stay quiet on the idiomatic
+alternative, and honour the ``# repro: allow RULE`` suppression — a rule
+that can't demonstrably fire is a rule that silently rotted.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis.lint import (
+    RULES,
+    check_source,
+    classify,
+    iter_py_files,
+    lint_paths,
+    main,
+)
+
+# a repro-package path in each category the scoping logic distinguishes
+SIM = "src/repro/sim/engine.py"
+NET = "src/repro/net/link.py"
+MEM = "src/repro/mem/backing.py"
+HARNESS = "src/repro/bench/harness.py"
+TESTFILE = "tests/test_something.py"
+BENCHFILE = "benchmarks/bench_something.py"
+
+
+def rules_of(source, relpath=NET):
+    return [v.rule for v in check_source(textwrap.dedent(source), relpath)]
+
+
+# ----------------------------------------------------------------------
+# classify
+# ----------------------------------------------------------------------
+
+
+def test_classify_splits_repro_paths():
+    assert classify(NET) == ("repro", ("net", "link.py"))
+    assert classify("src/repro/__init__.py") == ("repro", ("__init__.py",))
+    assert classify(TESTFILE) == ("other", ("tests", "test_something.py"))
+
+
+# ----------------------------------------------------------------------
+# DET001 — wall clock
+# ----------------------------------------------------------------------
+
+
+def test_det001_time_call_fires():
+    assert rules_of("import time\nt = time.time()\n") == ["DET001"]
+
+
+def test_det001_perf_counter_import_and_call():
+    src = "from time import perf_counter\nt = perf_counter()\n"
+    assert rules_of(src) == ["DET001", "DET001"]  # the import and the call
+
+
+def test_det001_datetime_now_fires():
+    assert "DET001" in rules_of(
+        "from datetime import datetime\nstamp = datetime.now()\n")
+    assert "DET001" in rules_of(
+        "import datetime\nstamp = datetime.datetime.now()\n")
+
+
+def test_det001_exempt_in_sim_and_harness():
+    src = "import time\nt = time.perf_counter()\n"
+    assert rules_of(src, SIM) == []
+    assert rules_of(src, HARNESS) == []
+    assert rules_of(src, TESTFILE) == []  # tests may time themselves
+    assert rules_of(src, NET) == ["DET001"]
+
+
+def test_det001_ignores_simulated_time():
+    # attribute access that isn't a wall-clock module doesn't count
+    assert rules_of("t = engine.time()\nu = self.now\n") == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — global random
+# ----------------------------------------------------------------------
+
+
+def test_det002_module_level_random_fires():
+    assert rules_of("import random\nx = random.random()\n") == ["DET002"]
+    assert rules_of("from random import randint\n") == ["DET002"]
+
+
+def test_det002_seeded_random_instance_ok():
+    src = "import random\nrng = random.Random(42)\nx = rng.random()\n"
+    assert rules_of(src) == []
+    assert rules_of("from random import Random\n") == []
+
+
+def test_det002_applies_to_benchmarks_not_tests():
+    src = "import random\nx = random.random()\n"
+    assert rules_of(src, BENCHFILE) == ["DET002"]
+    assert rules_of(src, TESTFILE) == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — set iteration
+# ----------------------------------------------------------------------
+
+
+def test_det003_for_over_set_literal_fires():
+    assert rules_of("for x in {1, 2, 3}:\n    pass\n") == ["DET003"]
+
+
+def test_det003_tracked_set_variable_fires():
+    src = """\
+    sharers = set()
+    for node in sharers:
+        pass
+    """
+    assert rules_of(src) == ["DET003"]
+
+
+def test_det003_annotated_attribute_fires():
+    src = """\
+    class Directory:
+        def __init__(self):
+            self.sharers: set = set()
+
+        def walk(self):
+            for node in self.sharers:
+                pass
+    """
+    assert rules_of(src) == ["DET003"]
+
+
+def test_det003_list_conversion_fires():
+    src = "s = {1, 2}\nxs = list(s)\n"
+    assert rules_of(src) == ["DET003"]
+
+
+def test_det003_sorted_and_membership_ok():
+    src = """\
+    s = {1, 2}
+    for x in sorted(s):
+        pass
+    present = 1 in s
+    n = len(s)
+    """
+    assert rules_of(src) == []
+
+
+def test_det003_set_arithmetic_result_fires():
+    src = "a = {1, 2}\nb = {2}\nfor x in a - b:\n    pass\n"
+    assert rules_of(src) == ["DET003"]
+
+
+def test_det003_only_in_repro():
+    assert rules_of("for x in {1, 2}:\n    pass\n", TESTFILE) == []
+
+
+# ----------------------------------------------------------------------
+# DET004 — id() ordering
+# ----------------------------------------------------------------------
+
+
+def test_det004_id_dict_key_fires():
+    assert rules_of("d = {}\nd[id(obj)] = 1\n") == ["DET004"]
+
+
+def test_det004_id_sort_key_fires():
+    assert rules_of("xs.sort(key=id)\n") == ["DET004"]
+    assert rules_of("ys = sorted(xs, key=lambda o: id(o))\n") == ["DET004"]
+
+
+def test_det004_id_comparison_fires():
+    assert rules_of("first = id(a) < id(b)\n") == ["DET004", "DET004"]
+
+
+def test_det004_identity_check_ok():
+    # plain identity tests don't derive an ordering
+    assert rules_of("same = id(a) == id(b)\nprint(id(a))\n") == []
+
+
+def test_det004_applies_everywhere():
+    assert rules_of("d = {}\nd[id(obj)] = 1\n", TESTFILE) == ["DET004"]
+
+
+# ----------------------------------------------------------------------
+# ARCH001 — layering
+# ----------------------------------------------------------------------
+
+
+def test_arch001_sim_may_only_import_sim_and_common():
+    assert rules_of("from repro.net.link import Link\n", SIM) == ["ARCH001"]
+    assert rules_of("from repro.obs.histogram import Histogram\n", SIM) \
+        == ["ARCH001"]
+    src = "from repro.sim.events import Event\nfrom repro.common.errors import ReproError\n"
+    assert rules_of(src, SIM) == []
+
+
+def test_arch001_net_must_not_import_niu_or_firmware():
+    assert rules_of("import repro.niu.queues\n", NET) == ["ARCH001"]
+    assert rules_of("from repro.firmware import reliable\n", NET) == ["ARCH001"]
+    assert rules_of("from repro.sim.store import Store\n", NET) == []
+
+
+def test_arch001_mem_must_not_import_mp_or_shm():
+    assert rules_of("from repro.mp import channel\n", MEM) == ["ARCH001"]
+    assert rules_of("from repro.common.errors import AddressError\n", MEM) == []
+
+
+def test_arch001_type_checking_imports_exempt():
+    src = """\
+    from typing import TYPE_CHECKING
+    if TYPE_CHECKING:
+        from repro.net.link import Link
+    """
+    assert rules_of(src, SIM) == []
+
+
+# ----------------------------------------------------------------------
+# PERF001 — hot classes need __slots__
+# ----------------------------------------------------------------------
+
+
+def test_perf001_registered_class_without_slots_fires():
+    src = "class Packet:\n    def __init__(self):\n        self.size = 0\n"
+    assert rules_of(src, "src/repro/net/packet.py") == ["PERF001"]
+
+
+def test_perf001_slots_satisfies():
+    src = "class Packet:\n    __slots__ = ('size',)\n"
+    assert rules_of(src, "src/repro/net/packet.py") == []
+
+
+def test_perf001_unregistered_class_exempt():
+    src = "class Helper:\n    pass\n"
+    assert rules_of(src, "src/repro/net/packet.py") == []
+
+
+# ----------------------------------------------------------------------
+# suppression, parse errors, driver
+# ----------------------------------------------------------------------
+
+
+def test_inline_suppression_silences_one_line():
+    src = """\
+    for x in {1, 2}:  # repro: allow DET003
+        pass
+    for y in {3, 4}:
+        pass
+    """
+    violations = check_source(textwrap.dedent(src), NET)
+    assert [v.rule for v in violations] == ["DET003"]
+    assert violations[0].line == 3
+
+
+def test_inline_suppression_multiple_rules():
+    src = "import time\nd = {id(a): time.time()}  # repro: allow DET001, DET004\n"
+    assert rules_of(src) == []
+
+
+def test_suppression_is_rule_specific():
+    src = "for x in {1, 2}:  # repro: allow DET004\n    pass\n"
+    assert rules_of(src) == ["DET003"]
+
+
+def test_syntax_error_reported_not_crashed():
+    violations = check_source("def broken(:\n", NET)
+    assert [v.rule for v in violations] == ["PARSE"]
+
+
+def test_violation_render_is_location_prefixed():
+    (v,) = check_source("import time\nt = time.time()\n", NET)
+    assert v.render().startswith(f"{NET}:2:")
+    assert "DET001" in v.render()
+
+
+def test_iter_py_files_deterministic_and_filtered(tmp_path):
+    (tmp_path / "b.py").write_text("x = 1\n")
+    (tmp_path / "a.py").write_text("x = 1\n")
+    (tmp_path / "notes.txt").write_text("not python\n")
+    sub = tmp_path / "__pycache__"
+    sub.mkdir()
+    (sub / "cached.py").write_text("x = 1\n")
+    files = list(iter_py_files([str(tmp_path)]))
+    assert [f.rsplit("/", 1)[-1] for f in files] == ["a.py", "b.py"]
+
+
+def test_main_json_report(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "net" / "clocky.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nt = time.time()\n")
+    rc = main(["lint", "--json", str(tmp_path)])
+    report = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert report["schema"] == "startv.lint"
+    assert report["checked_files"] == 1
+    assert report["rules"] == RULES
+    (violation,) = report["violations"]
+    assert violation["rule"] == "DET001"
+    assert violation["line"] == 2
+
+
+def test_main_clean_tree_exits_zero(tmp_path, capsys):
+    good = tmp_path / "fine.py"
+    good.write_text("x = 1\n")
+    rc = main(["lint", str(tmp_path)])
+    capsys.readouterr()
+    assert rc == 0
+
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_module_entry_point_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "lint", "--json",
+         "src/repro/analysis"],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert json.loads(proc.stdout)["violations"] == []
+
+
+def test_repo_lints_clean():
+    """The enforced CI property: the shipped tree has zero violations."""
+    paths = [str(REPO_ROOT / p)
+             for p in ("src", "tests", "benchmarks", "examples")]
+    violations, n_files = lint_paths(paths)
+    assert n_files > 100
+    assert violations == [], "\n".join(v.render() for v in violations)
