@@ -54,6 +54,8 @@ STREAM_COUNT = 120
 STREAM_PAYLOAD = 32  # fits both plain (88) and reliable (84) payload caps
 ALLREDUCE_NODES = 4
 ALLREDUCE_REPEATS = 6
+SYNC_NODES = 8
+SYNC_BARRIER_ROUNDS = 4
 
 
 def _plan(loss, seed=1):
@@ -182,6 +184,47 @@ def allreduce_point(spec):
     return row
 
 
+def sync_barrier_point(spec):
+    """One in-switch barrier point under injected loss: ``(loss,)``.
+
+    Sync-tagged packets ride the fault-exempt protected channel (a
+    dropped combined request would wedge decombine state fabric-wide),
+    so the ``algo="switch"`` barrier must complete every round at any
+    tested loss rate — that completion is the goodput this row gates.
+    """
+    (loss,) = spec
+    machine = fresh_machine(SYNC_NODES, faults=_plan(loss, seed=3))
+    mpi = MiniMPI(machine, algo="switch", reliable=True)
+
+    def worker(api, rank):
+        comm = mpi.rank(rank)
+        done = 0
+        for _ in range(SYNC_BARRIER_ROUNDS):
+            yield from comm.barrier(api)
+            done += 1
+        return done
+
+    t0 = machine.now
+    procs = [machine.spawn(n, worker, n) for n in range(SYNC_NODES)]
+    results = machine.run_all(procs, limit=1e10)
+    total = SYNC_NODES * SYNC_BARRIER_ROUNDS
+    per_op_ns = (machine.now - t0) / SYNC_BARRIER_ROUNDS
+    row = {
+        "workload": "sync_barrier",
+        "loss": loss,
+        "reliable": True,
+        "sent": total,
+        "delivered": sum(results),
+        "goodput": sum(results) / total,
+        "p50_latency_ns": per_op_ns,
+        "p99_latency_ns": per_op_ns,
+    }
+    row.update(_rel_counters(machine))
+    row["metrics"] = strip_wall(metrics_snapshot(machine,
+                                                 include_config=False))
+    return row
+
+
 def fault_sweep(jobs=1, loss_rates=LOSS_RATES):
     """The full grid, in point order (byte-identical for any ``jobs``)."""
     stream_specs = [(loss, reliable)
@@ -189,6 +232,7 @@ def fault_sweep(jobs=1, loss_rates=LOSS_RATES):
     allreduce_specs = [(loss,) for loss in loss_rates]
     points = run_sweep(stream_point, stream_specs, jobs=jobs)
     points += run_sweep(allreduce_point, allreduce_specs, jobs=jobs)
+    points += run_sweep(sync_barrier_point, allreduce_specs, jobs=jobs)
     return points
 
 

@@ -95,6 +95,13 @@ HOT_CLASSES: Dict[Tuple[str, ...], Set[str]] = {
     ("sim", "store.py"): {"Store"},
     ("sim", "resource.py"): {"Resource", "PriorityResource"},
     ("net", "packet.py"): {"Packet"},
+    ("net", "combine.py"): {"SyncTag", "GroupProgram", "_Slot", "CombineStage"},
+    ("sync", "api.py"): {
+        "_NodeClient", "SyncFabric", "SyncGroup", "Counter", "Barrier",
+        "TasLock", "TicketLock", "McsLock", "WorkDeque",
+    },
+    ("sync", "firmware.py"): {"SyncFwState", "_CentralOp"},
+    ("sync", "plan.py"): {"SwitchTreePlan"},
     ("niu", "queues.py"): {"QueueState"},
     ("niu", "clssram.py"): {"ClsSram"},
     ("faults", "inject.py"): {"LinkFaultState"},

@@ -30,6 +30,12 @@ coherence   clsSRAM S-COMA transitions are legal: hardware (the aBIU
 deadlock    when the event queue drains while non-daemon processes are
             still blocked, fail with a wait-for graph instead of
             silently returning
+combine     switch-resident combining decombines *exactly once*: every
+            flushed combining slot is answered by exactly one reply
+            per recorded contribution (no duplicates, no leftovers),
+            no reply arrives for a token nobody is waiting on, and no
+            combining stage holds open slots or unreturned decombine
+            records when the event queue drains
 =========== ==========================================================
 
 Enable via ``MachineConfig(sanitize=("credit", "queue"))``, the string
@@ -58,7 +64,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.process import Process
 
 #: installable checkers, in install order.
-SANITIZER_NAMES: Tuple[str, ...] = ("credit", "queue", "coherence", "deadlock")
+SANITIZER_NAMES: Tuple[str, ...] = ("credit", "queue", "coherence",
+                                    "deadlock", "combine")
 
 
 def _parse(spec: Union[str, Iterable[str], None]) -> Tuple[str, ...]:
@@ -495,6 +502,134 @@ class DeadlockWatchdog:
 
 
 # ----------------------------------------------------------------------
+# combine sanitizer (decombine exactly once)
+# ----------------------------------------------------------------------
+
+
+class _CombineRecord:
+    """One flushed combining slot awaiting its replies."""
+
+    __slots__ = ("expected", "replied", "ports")
+
+    def __init__(self, expected: int) -> None:
+        self.expected = expected
+        self.replied = 0
+        self.ports: List[int] = []
+
+
+class CombineSanitizer:
+    """Decombine-exactly-once for switch-resident combining.
+
+    The combining stages (:class:`repro.net.combine.CombineStage`) call
+    in at every slot open, flush, reply and close; the checker keeps
+    the mirror ledger and fails the moment a reply is duplicated,
+    missing at close, or aimed at a token nobody recorded.  Stages pick
+    the checker up through ``machine.sanitizers.checker("combine")``
+    when :class:`repro.sync.api.SyncFabric` programs them.
+    """
+
+    name = "combine"
+
+    def __init__(self, machine: "StarTVoyager") -> None:
+        self.machine = machine
+        #: open (un-flushed) combining slots: (switch, key).
+        self.open: set = set()
+        #: flushed slots awaiting replies: (switch, token) -> record.
+        self.records: Dict[Tuple[str, Any], _CombineRecord] = {}
+        self.opens = 0
+        self.flushes = 0
+        self.replies = 0
+        self.closes = 0
+
+    def install(self) -> None:
+        """Nothing to hook at install time: combining stages are created
+        when sync groups are planned, and find this checker then."""
+
+    # -- stage-facing protocol ---------------------------------------------
+
+    def note_open(self, switch: str, key: Any) -> None:
+        self.opens += 1
+        self.open.add((switch, key))
+
+    def note_flush(self, switch: str, key: Any, token: Any,
+                   expected: int) -> None:
+        self.flushes += 1
+        self.open.discard((switch, key))
+        rkey = (switch, token)
+        if rkey in self.records:
+            raise SanitizerError(
+                f"combine: {switch} reused live decombine token {token!r}"
+            )
+        self.records[rkey] = _CombineRecord(expected)
+
+    def note_reply(self, switch: str, token: Any, port: int) -> None:
+        self.replies += 1
+        rec = self.records.get((switch, token))
+        if rec is None:
+            raise SanitizerError(
+                f"combine: {switch} replied on port {port} for unknown "
+                f"token {token!r}"
+            )
+        if port in rec.ports:
+            raise SanitizerError(
+                f"combine: {switch} decombined token {token!r} twice onto "
+                f"port {port} (exactly-once violated)"
+            )
+        rec.ports.append(port)
+        rec.replied += 1
+        if rec.replied > rec.expected:
+            raise SanitizerError(
+                f"combine: {switch} emitted {rec.replied} replies for "
+                f"token {token!r}, expected {rec.expected}"
+            )
+
+    def note_close(self, switch: str, token: Any, expected: int) -> None:
+        self.closes += 1
+        rec = self.records.pop((switch, token), None)
+        if rec is None:
+            raise SanitizerError(
+                f"combine: {switch} closed unknown token {token!r}"
+            )
+        if rec.replied != expected:
+            raise SanitizerError(
+                f"combine: {switch} closed token {token!r} after "
+                f"{rec.replied}/{expected} replies (contributors lost)"
+            )
+
+    def orphan(self, switch: str, tag: Any) -> None:
+        raise SanitizerError(
+            f"combine: {switch} received a reply nobody is waiting for: "
+            f"{tag!r} (duplicate or stale decombine)"
+        )
+
+    # -- drain check -------------------------------------------------------
+
+    def on_drain(self) -> None:
+        left = len(self.open) + len(self.records)
+        if left:
+            sample = sorted(map(repr, self.open))[:4] \
+                + sorted(map(repr, self.records))[:4]
+            raise SanitizerError(
+                f"combine: event queue drained with {left} combining "
+                f"slot(s)/record(s) outstanding (wedged reduction tree?): "
+                f"{sample}"
+            )
+        net = self.machine.network
+        if net is not None:
+            for sw in net.switches.values():
+                stage = sw.combiner
+                if stage is not None and stage.outstanding():
+                    raise SanitizerError(
+                        f"combine: {sw.name} drained with "
+                        f"{stage.outstanding()} slot(s) outstanding"
+                    )
+
+    def report(self) -> Dict[str, int]:
+        return {"opens": self.opens, "flushes": self.flushes,
+                "replies": self.replies, "closes": self.closes}
+
+
+# ----------------------------------------------------------------------
 # the layer
 # ----------------------------------------------------------------------
 
@@ -503,6 +638,7 @@ _FACTORIES = {
     "queue": QueueSanitizer,
     "coherence": CoherenceSanitizer,
     "deadlock": DeadlockWatchdog,
+    "combine": CombineSanitizer,
 }
 
 

@@ -261,6 +261,14 @@ class NetworkConfig:
     #: False = store-and-forward (conservative default; the shipped
     #: experiment numbers use it).
     cut_through: bool = False
+    #: switch-resident combining: how long a fetch-and-op combining slot
+    #: stays open for later colliding requests before the combined packet
+    #: is forwarded (Ultracomputer-style window).  Tree-mode collectives
+    #: ignore it — they wait for their planned contribution count.
+    combine_window_ns: float = 80.0
+    #: per-packet processing latency of a switch's combining ALU stage,
+    #: charged on top of the ordinary fall-through latency.
+    combine_latency_ns: float = 15.0
 
     @property
     def ns_per_byte(self) -> float:
@@ -283,6 +291,8 @@ class NetworkConfig:
             raise ConfigError("header cannot fill the whole packet")
         if self.buffer_packets < 1:
             raise ConfigError("links need at least one packet of buffering")
+        if self.combine_window_ns < 0 or self.combine_latency_ns < 0:
+            raise ConfigError("combining latencies must be non-negative")
 
 
 @dataclass
@@ -332,6 +342,18 @@ class FirmwareCostConfig:
     rel_ack_insns: int = 35
     #: reliable delivery: one retransmit-timer firing (window walk).
     rel_timer_insns: int = 50
+    #: repro.sync endpoint fallback: apply one fetch-and-op at a cell's
+    #: home sP (decode, read-modify-write, compose reply).
+    sync_cell_insns: int = 55
+    #: repro.sync: inject one tagged packet toward the switch fabric
+    #: (the NIC is the combining tree's leaf).
+    sync_inject_insns: int = 35
+    #: repro.sync central (hot-spot) barrier: count one arrival / send
+    #: one release at the home sP.
+    sync_barrier_insns: int = 40
+    #: repro.sync work-stealing deque: one push/pop/steal served by the
+    #: owning sP.
+    sync_deque_insns: int = 60
 
     def validate(self) -> None:
         for f in dataclasses.fields(self):
@@ -392,7 +414,8 @@ class MachineConfig:
     scoma_home_of: Optional[List[int]] = None
     #: runtime invariant checkers to install at machine assembly: a tuple
     #: of names from :data:`repro.analysis.sanitize.SANITIZER_NAMES`
-    #: (``credit``, ``queue``, ``coherence``, ``deadlock``), or the
+    #: (``credit``, ``queue``, ``coherence``, ``deadlock``,
+    #: ``combine``), or the
     #: string ``"all"``, or a comma-separated string.  Merged with the
     #: ``REPRO_SANITIZE`` environment variable; empty (the default)
     #: installs nothing and costs nothing.

@@ -111,6 +111,8 @@ class StarTVoyager:
 
             self.sanitizers = SanitizerLayer(self, sanitize)
             self.sanitizers.install()
+        #: lazy in-network-computing context (:mod:`repro.sync`).
+        self._sync_fabric = None
 
     # -- construction helpers ---------------------------------------------------
 
@@ -141,6 +143,17 @@ class StarTVoyager:
                         vdst_for(dst, queue),
                         TranslationEntry(True, dst, queue, priority),
                     )
+
+    def sync_fabric(self):
+        """The machine's scalable-synchronization context (lazy
+        singleton; see :class:`repro.sync.api.SyncFabric`).  Creating it
+        installs the sync firmware cluster-wide; combining stages appear
+        on switches only as groups are planned through them."""
+        if self._sync_fabric is None:
+            from repro.sync.api import SyncFabric
+
+            self._sync_fabric = SyncFabric(self)
+        return self._sync_fabric
 
     # -- execution ------------------------------------------------------------------
 

@@ -64,6 +64,14 @@ class LinkFaultState:
             self.dropped += 1
             self._note("faults.link_down_drops", "down", pkt)
             return FATE_DROP
+        if pkt.sync is not None:
+            # switch-resident combining rides the fabric's lossless
+            # contract (credit flow control + CRC): a dropped combined
+            # request would wedge a whole reduction tree, which is why
+            # SHARP-style in-switch collectives run over a reliable
+            # transport.  Counted, so the exemption is visible.
+            self._note("faults.sync_exempt", "sync_exempt", pkt)
+            return FATE_DELIVER
         n = self.ordinal
         self.ordinal = n + 1
         if self.drop_p > 0.0 and fault_hash01(self.key, n, 0) < self.drop_p:

@@ -29,7 +29,13 @@ from repro.niu.commands import (
     CmdSendMessage,
     CmdWriteDram,
 )
-from repro.niu.msgformat import FLAG_RAW, FLAG_TAGON, HEADER_BYTES, MsgHeader
+from repro.niu.msgformat import (
+    FLAG_RAW,
+    FLAG_TAGON,
+    HEADER_BYTES,
+    MsgHeader,
+    decode_rx_header,
+)
 from repro.niu.niu import SP_TX_GENERAL
 from repro.niu.queues import BANK_S
 
@@ -104,7 +110,7 @@ def fw_recv_all(sp: "ServiceProcessor", logical: int
         yield sp.compute(sp.fw.recv_msg_insns)
         offset = q.slot_offset(q.consumer)
         raw = yield from sp.sbiu.read_ssram(offset, HEADER_BYTES)
-        src, length = raw[1], raw[3]
+        src, length, _flags = decode_rx_header(raw)
         payload = b""
         if length:
             payload = yield from sp.sbiu.read_ssram(offset + HEADER_BYTES, length)

@@ -56,6 +56,7 @@ from repro.niu.msgformat import (
     TAGON_LARGE_UNITS,
     TAGON_UNIT_BYTES,
     MsgHeader,
+    decode_rx_header,
 )
 from repro.niu.niu import SP_BULK_QUEUE, SP_TX_GENERAL, vdst_for
 from repro.niu.queues import BANK_S
@@ -163,7 +164,7 @@ def bt2_receive_dispatcher(sp: "ServiceProcessor", logical: int
         yield sp.compute(BT2_RECV_CHUNK_INSNS)
         base = q.slot_offset(entry)
         raw = yield from sp.sbiu.read_ssram(base, HEADER_BYTES + 8)
-        src, length = raw[1], raw[3]
+        src, length, _flags = decode_rx_header(raw[:HEADER_BYTES])
         desc = raw[HEADER_BYTES:]
         if desc[0] == proto.MSG_BT2_CHUNK:
             dst_addr, _ = proto.unpack_bt2_chunk(desc)

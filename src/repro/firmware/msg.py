@@ -70,11 +70,25 @@ def missq_service(sp: "ServiceProcessor", event: Tuple
     ctrl = sp.ctrl
     rings: Dict[int, DramRing] = sp.state.get("dram_rings", {})
     producers: Dict[int, int] = sp.state.get("dram_ring_producer", {})
+    handlers = sp.state.get("msg_handlers", {})
+    specials = sp.state.get("queue_dispatchers", {})
     while not ctrl.miss_queue.is_empty:
         kind, logical, src, payload, flags = ctrl.miss_queue.try_get()
         yield sp.compute(sp.fw.missq_service_insns)
         ring = rings.get(logical)
         if ring is None:
+            # An sP-owned queue (interrupt-dispatched, no special drain
+            # routine) that overflowed under a burst: the message is
+            # already in hand, so firmware processes it here exactly as
+            # the rxmsg dispatcher would have.
+            slot = ctrl.rx_cache.resident().get(logical)
+            q = ctrl.rx_queues[slot] if slot is not None else None
+            if (q is not None and q.interrupt_on_arrival
+                    and logical not in specials and payload
+                    and payload[0] in handlers):
+                ctrl.stats.counter(f"{ctrl.name}.missq_redelivered").incr()
+                yield from handlers[payload[0]](sp, src, payload)
+                continue
             # no DRAM home declared: the message is dropped and logged —
             # the OS would tear down the offending sender
             sp.state.setdefault("missq_dropped", []).append((kind, logical, src))

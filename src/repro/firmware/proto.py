@@ -33,6 +33,12 @@ MSG_COLL_DOWN = 18  #: parent sP -> child sP: collective result going down
 MSG_REL_SEND = 19  #: aP -> local sP: submit one reliable-delivery segment
 MSG_REL_DATA = 20  #: sender sP -> receiver sP: go-back-N DATA segment
 MSG_REL_ACK = 21  #: receiver sP -> sender sP: cumulative acknowledgement
+MSG_SYNC_REQ = 22  #: requester -> home sP: endpoint fetch-and-op request
+MSG_SYNC_REP = 23  #: home sP / switch -> requester: fetch-and-op reply
+MSG_SYNC_INJECT = 24  #: aP -> local sP: inject a sync tag into the fabric
+MSG_SYNC_DEQUE = 25  #: aP/sP -> owner sP: work-stealing deque operation
+MSG_SYNC_TREE_REP = 26  #: tree root (sP or switch) -> member: collective result
+MSG_SYNC_CBAR = 27  #: member -> home sP: central counting-barrier arrival
 MSG_USER = 64  #: first type value free for applications/libraries
 
 
@@ -219,6 +225,128 @@ def unpack_rel_ack(p: bytes) -> int:
     if p[0] != MSG_REL_ACK or len(p) < 4:
         raise FirmwareError(f"not a reliable ACK: {p!r}")
     return int.from_bytes(p[2:4], "big")
+
+
+# -- scalable synchronization (repro.sync) --------------------------------------
+#
+# The endpoint fallback path of the sync library: fetch-and-op requests
+# served by a home sP, a central counting barrier, and the work-stealing
+# deque.  ``MSG_SYNC_REP`` / ``MSG_SYNC_TREE_REP`` values are mirrored by
+# ``repro.net.combine`` (``SYNC_REP_BYTE`` / ``SYNC_TREE_REP_BYTE``):
+# the switch-resident combining stage emits the *same* reply format, so
+# a waiting member cannot tell (and need not care) whether its reply
+# came from firmware or from the fabric.
+
+
+def pack_sync_req(group: int, cell: int, op: int, origin: int, req: int,
+                  reply_queue: int, value: int, aux: int = 0) -> bytes:
+    """Endpoint fetch-and-op request toward the cell's home sP."""
+    return (bytes([MSG_SYNC_REQ]) + group.to_bytes(4, "big")
+            + cell.to_bytes(4, "big") + bytes([op])
+            + origin.to_bytes(4, "big") + req.to_bytes(4, "big")
+            + bytes([reply_queue]) + value.to_bytes(8, "big", signed=True)
+            + aux.to_bytes(8, "big", signed=True))
+
+
+def unpack_sync_req(p: bytes) -> Tuple[int, int, int, int, int, int, int, int]:
+    """Returns (group, cell, op, origin, req, reply_queue, value, aux)."""
+    if p[0] != MSG_SYNC_REQ or len(p) < 35:
+        raise FirmwareError(f"not a sync request: {p!r}")
+    return (int.from_bytes(p[1:5], "big"), int.from_bytes(p[5:9], "big"),
+            p[9], int.from_bytes(p[10:14], "big"),
+            int.from_bytes(p[14:18], "big"), p[18],
+            int.from_bytes(p[19:27], "big", signed=True),
+            int.from_bytes(p[27:35], "big", signed=True))
+
+
+def pack_sync_rep(req: int, value: int, ok: bool = True) -> bytes:
+    """Fetch-and-op reply (also emitted by the combining switches)."""
+    return (bytes([MSG_SYNC_REP]) + req.to_bytes(4, "big")
+            + (b"\x01" if ok else b"\x00")
+            + value.to_bytes(8, "big", signed=True))
+
+
+def unpack_sync_rep(p: bytes) -> Tuple[int, bool, int]:
+    """Returns (req, ok, value)."""
+    if p[0] != MSG_SYNC_REP or len(p) < 14:
+        raise FirmwareError(f"not a sync reply: {p!r}")
+    return (int.from_bytes(p[1:5], "big"), bool(p[5]),
+            int.from_bytes(p[6:14], "big", signed=True))
+
+
+def pack_sync_inject(tag_bytes: bytes) -> bytes:
+    """aP -> local sP: hand one packed SyncTag to the leaf injector."""
+    return bytes([MSG_SYNC_INJECT]) + tag_bytes
+
+
+def unpack_sync_inject(p: bytes) -> bytes:
+    """Returns the packed tag."""
+    if p[0] != MSG_SYNC_INJECT or len(p) < 2:
+        raise FirmwareError(f"not a sync inject: {p!r}")
+    return p[1:]
+
+
+#: work-stealing deque verbs (``MSG_SYNC_DEQUE``).
+DEQUE_PUSH = 0
+DEQUE_POP = 1
+DEQUE_STEAL = 2
+
+
+def pack_sync_deque(group: int, verb: int, origin: int, req: int,
+                    reply_queue: int, value: int = 0) -> bytes:
+    """Deque operation toward the deque owner's sP."""
+    return (bytes([MSG_SYNC_DEQUE]) + group.to_bytes(4, "big")
+            + bytes([verb]) + origin.to_bytes(4, "big")
+            + req.to_bytes(4, "big") + bytes([reply_queue])
+            + value.to_bytes(8, "big", signed=True))
+
+
+def unpack_sync_deque(p: bytes) -> Tuple[int, int, int, int, int, int]:
+    """Returns (group, verb, origin, req, reply_queue, value)."""
+    if p[0] != MSG_SYNC_DEQUE or len(p) < 23:
+        raise FirmwareError(f"not a deque operation: {p!r}")
+    return (int.from_bytes(p[1:5], "big"), p[5],
+            int.from_bytes(p[6:10], "big"), int.from_bytes(p[10:14], "big"),
+            p[14], int.from_bytes(p[15:23], "big", signed=True))
+
+
+def pack_sync_tree_rep(group: int, seq: int, value: int) -> bytes:
+    """Collective result delivered to one member (matches the combining
+    switch's fan-out payload byte for byte)."""
+    return (bytes([MSG_SYNC_TREE_REP]) + group.to_bytes(4, "big")
+            + seq.to_bytes(4, "big") + value.to_bytes(8, "big", signed=True))
+
+
+def unpack_sync_tree_rep(p: bytes) -> Tuple[int, int, int]:
+    """Returns (group, seq, value)."""
+    if p[0] != MSG_SYNC_TREE_REP or len(p) < 17:
+        raise FirmwareError(f"not a tree reply: {p!r}")
+    return (int.from_bytes(p[1:5], "big"), int.from_bytes(p[5:9], "big"),
+            int.from_bytes(p[9:17], "big", signed=True))
+
+
+def pack_sync_cbar(group: int, seq: int, origin: int, n: int,
+                   reply_queue: int, op: int = 0, value: int = 0) -> bytes:
+    """Central collective arrival at the group's home sP.
+
+    Carries an op code and a contribution value, so the same serialized
+    server implements both the counting barrier (op=add, value=0) and
+    the endpoint-fallback allreduce — the hot-spot baseline the
+    switch-resident tree is measured against.
+    """
+    return (bytes([MSG_SYNC_CBAR]) + group.to_bytes(4, "big")
+            + seq.to_bytes(4, "big") + origin.to_bytes(4, "big")
+            + n.to_bytes(4, "big") + bytes([reply_queue, op])
+            + value.to_bytes(8, "big", signed=True))
+
+
+def unpack_sync_cbar(p: bytes) -> Tuple[int, int, int, int, int, int, int]:
+    """Returns (group, seq, origin, n, reply_queue, op, value)."""
+    if p[0] != MSG_SYNC_CBAR or len(p) < 27:
+        raise FirmwareError(f"not a barrier arrival: {p!r}")
+    return (int.from_bytes(p[1:5], "big"), int.from_bytes(p[5:9], "big"),
+            int.from_bytes(p[9:13], "big"), int.from_bytes(p[13:17], "big"),
+            p[17], p[18], int.from_bytes(p[19:27], "big", signed=True))
 
 
 # -- S-COMA eviction (capacity management) -------------------------------------

@@ -21,6 +21,14 @@ Collectives are selectable per machine through ``algo=``:
   (:mod:`repro.collectives.firmware`) combines contributions in the
   network interface and the aP issues a single enqueue plus a single
   dequeue per collective.
+* ``"switch"`` — in-network computing: barrier and named-op allreduce
+  ride a switch-resident combining tree (:mod:`repro.sync`), one
+  packet per tree edge with the folding done *inside the fabric*.
+  Only those two collectives offload this far; the rest fall back to
+  the machine's base algorithm.
+
+``barrier``/``allreduce`` also accept a per-call ``algo=`` override,
+so one program can compare families without rebuilding communicators.
 
 Fragment format (within one Basic payload, 88-byte cap):
 
@@ -47,6 +55,7 @@ from repro.collectives.plan import (OPS, RdSchedule, TreePlan, binomial_tree,
 from repro.common.errors import ProgramError
 from repro.firmware.proto import MSG_COLL_REQ
 from repro.mp.basic import BasicPort
+from repro.net import combine
 from repro.niu.niu import SP_SERVICE_QUEUE, needs_raw_addressing, vdst_for
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -71,7 +80,11 @@ _COLL_TAG_BASE = 0x8000
 _COLL_TAG_SPAN = 0x8000
 
 #: the collective algorithm families MiniMPI can route through.
-ALGOS = ("flat", "tree", "nic")
+ALGOS = ("flat", "tree", "nic", "switch")
+
+#: named reduction ops the in-switch combining path supports.
+_SWITCH_OPS = {"sum": combine.OP_ADD, "min": combine.OP_MIN,
+               "max": combine.OP_MAX, "bor": combine.OP_OR}
 
 #: a reduction operator: a name from repro.collectives.plan.OPS, an
 #: arbitrary callable (host algorithms only), or None for sum.
@@ -135,10 +148,22 @@ class MiniMPI:
         self._plans: Dict[int, TreePlan] = {}
         self._rd: Optional[RdSchedule] = None
         self.nic_plan: Optional[TreePlan] = None
+        self._sync_group = None
         if algo == "nic":
             # installs the CollectiveUnit firmware cluster-wide (no-op if
             # the shipped image already carries it)
             self.nic_plan = ensure_collectives(machine, self._build_plan(0))
+        elif algo == "switch":
+            self.sync_group()
+
+    def sync_group(self):
+        """The whole-communicator sync group backing ``algo="switch"``
+        (lazy: created on first use, planning the combining tree through
+        the fabric and installing the sync firmware)."""
+        if self._sync_group is None:
+            fabric = self.machine.sync_fabric()
+            self._sync_group = fabric.group(range(self.size), mode="switch")
+        return self._sync_group
 
     def rank(self, node: int) -> "MpiRank":
         """The communicator handle of one rank (cached per node)."""
@@ -296,6 +321,18 @@ class MpiRank:
         self._coll_seq += 1
         return seq & 0xFFFFFFFF, _COLL_TAG_BASE | (seq % _COLL_TAG_SPAN)
 
+    def _pick_algo(self, algo: Optional[str]) -> str:
+        """Resolve a per-call algorithm override (None = communicator's)."""
+        if algo is None:
+            return self.mpi.algo
+        if algo not in ALGOS:
+            raise ProgramError(f"unknown collective algo {algo!r}; "
+                               f"choose from {ALGOS}")
+        if algo == "nic" and self.mpi.nic_plan is None:
+            self.mpi.nic_plan = ensure_collectives(
+                self.mpi.machine, self.mpi._build_plan(0))
+        return algo
+
     def _nic_root(self, root: int) -> None:
         plan = self.mpi.nic_plan
         assert plan is not None
@@ -315,18 +352,28 @@ class MpiRank:
         yield from self._launch(api, self.rank, SP_SERVICE_QUEUE, payload,
                                 reliable=False)
 
-    def barrier(self, api: "ApApi") -> Generator["Event", None, None]:
-        """All ranks synchronize."""
+    def barrier(self, api: "ApApi", algo: Optional[str] = None
+                ) -> Generator["Event", None, None]:
+        """All ranks synchronize.
+
+        ``algo`` overrides the communicator's family for this one call
+        (every rank must pass the same value — collective-call
+        discipline applies to the override too).
+        """
         t0 = api.now
-        yield from self._do_barrier(api)
+        yield from self._do_barrier(api, algo)
         self.stats.accumulator("mpi.barrier_ns").add(api.now - t0)
 
-    def _do_barrier(self, api: "ApApi") -> Generator["Event", None, None]:
+    def _do_barrier(self, api: "ApApi", algo: Optional[str] = None
+                    ) -> Generator["Event", None, None]:
         seq, tag = self._next_coll()
         if self.size == 1:
             return
-        algo = self.mpi.algo
-        if algo == "tree":
+        algo = self._pick_algo(algo)
+        if algo == "switch":
+            yield from self.mpi.sync_group().tree_op(api, self.rank,
+                                                     combine.OP_ADD, 0)
+        elif algo == "tree":
             yield from coll_api.tree_barrier(self, api, self.mpi.plan(0), tag)
         elif algo == "nic":
             yield from self._nic_request(api, wire.KIND_BARRIER, 0, seq, tag,
@@ -461,17 +508,38 @@ class MpiRank:
                               tag)
         return None
 
-    def allreduce(self, api: "ApApi", value: int, op: OpSpec = None
+    def allreduce(self, api: "ApApi", value: int, op: OpSpec = None,
+                  algo: Optional[str] = None
                   ) -> Generator["Event", None, int]:
-        """Reduce with ``op`` (default sum); every rank returns the result."""
+        """Reduce with ``op`` (default sum); every rank returns the result.
+
+        ``algo`` overrides the communicator's family for this call;
+        ``algo="switch"`` supports the named ops sum/min/max/bor (the
+        associative folds the combining hardware implements).
+        """
         t0 = api.now
-        out = yield from self._do_allreduce(api, value, op)
+        out = yield from self._do_allreduce(api, value, op, algo)
         self.stats.accumulator("mpi.allreduce_ns").add(api.now - t0)
         return out
 
-    def _do_allreduce(self, api: "ApApi", value: int, op: OpSpec = None
+    def _do_allreduce(self, api: "ApApi", value: int, op: OpSpec = None,
+                      algo: Optional[str] = None
                       ) -> Generator["Event", None, int]:
-        algo = self.mpi.algo
+        algo = self._pick_algo(algo)
+        if algo == "switch":
+            self._next_coll()  # keep tag sequencing aligned across algos
+            name, _fn = _resolve_op(op)
+            sw_op = _SWITCH_OPS.get(name) if name is not None else None
+            if sw_op is None:
+                raise ProgramError(
+                    "in-switch reduction needs a named op from "
+                    f"{sorted(_SWITCH_OPS)}; use algo='tree' for the rest"
+                )
+            if self.size == 1:
+                return value
+            result = yield from self.mpi.sync_group().tree_op(
+                api, self.rank, sw_op, value)
+            return result
         if algo == "tree":
             seq, tag = self._next_coll()
             _name, fn = _resolve_op(op)

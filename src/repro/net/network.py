@@ -52,13 +52,19 @@ class NetworkPort:
         the injection time for latency statistics.
         """
         check_packet_size(pkt, self.network.config.max_packet_bytes)
-        if pkt.dst == self.node:
-            raise NetworkError(
-                f"{pkt!r}: self-sends do not enter the network (CTRL loops "
-                "them back locally)"
-            )
-        if not pkt.route:
-            raise NetworkError(f"{pkt!r} has no route; translation must supply one")
+        if pkt.sync is None:
+            # sync-tagged packets are exempt from both checks: they are
+            # consumed by a combining stage rather than source-routed, and
+            # a member's reply legitimately comes back addressed to itself
+            if pkt.dst == self.node:
+                raise NetworkError(
+                    f"{pkt!r}: self-sends do not enter the network (CTRL "
+                    "loops them back locally)"
+                )
+            if not pkt.route:
+                raise NetworkError(
+                    f"{pkt!r} has no route; translation must supply one"
+                )
         pkt.inject_time = self.engine.now
         self.injected += 1
         tr = self.network.tracer

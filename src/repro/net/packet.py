@@ -63,6 +63,7 @@ class Packet:
         "checksum",
         "inject_time",
         "meta",
+        "sync",
     )
 
     def __init__(
@@ -76,6 +77,7 @@ class Packet:
         route: Optional[List[int]] = None,
         command: Any = None,
         header_bytes: int = 8,
+        sync: Any = None,
     ) -> None:
         if priority not in (PRIORITY_HIGH, PRIORITY_LOW):
             raise NetworkError(f"bad priority {priority}")
@@ -116,6 +118,12 @@ class Packet:
         self.inject_time: float = 0.0
         #: free-form bookkeeping (never consulted by the network itself).
         self.meta: Any = None
+        #: in-network computing tag (:class:`repro.net.combine.SyncTag`).
+        #: ``None`` for ordinary traffic — switches pay one attribute test
+        #: per packet.  Tagged packets are consumed by a switch's combining
+        #: stage instead of being source-routed, and they ride the fabric's
+        #: lossless guarantee (see :mod:`repro.net.combine`).
+        self.sync: Any = sync
 
     def verify_checksum(self) -> bool:
         """True when the payload still matches the carried checksum."""

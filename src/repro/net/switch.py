@@ -14,7 +14,7 @@ the outgoing link's priority-arbitrated transmitter.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.common.config import NetworkConfig
 from repro.common.errors import NetworkError
@@ -22,7 +22,9 @@ from repro.net.link import Link
 from repro.net.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.combine import CombineStage
     from repro.sim.engine import Engine
+    from repro.sim.stats import StatsRegistry
 
 
 class ArcticSwitch:
@@ -45,6 +47,11 @@ class ArcticSwitch:
         #: port number -> outgoing link (traffic leaving this switch).
         self.out_links: Dict[int, Link] = {}
         self.packets_forwarded = 0
+        #: in-network computing stage (:class:`repro.net.combine
+        #: .CombineStage`); ``None`` until a reduction tree is planned
+        #: through this switch, so unprogrammed switches pay exactly one
+        #: attribute test per packet.
+        self.combiner: Optional["CombineStage"] = None
         self._started = False
 
     def attach(self, port: int, in_link: Optional[Link], out_link: Optional[Link]) -> None:
@@ -65,15 +72,35 @@ class ArcticSwitch:
         for port, link in self.in_links.items():
             for priority in range(self.config.priorities):
                 self.engine.process(
-                    self._forward(link, priority),
+                    self._forward(port, link, priority),
                     name=f"{self.name}.in{port}.p{priority}",
                     daemon=True,
                 )
 
-    def _forward(self, in_link: Link, priority: int):
+    def ensure_combiner(self, stats: Optional["StatsRegistry"] = None,
+                        sanitizer: Any = None) -> "CombineStage":
+        """The switch's combining stage, created on first demand."""
+        if self.combiner is None:
+            from repro.net.combine import CombineStage
+            self.combiner = CombineStage(self.engine, self, stats=stats,
+                                         sanitizer=sanitizer)
+        return self.combiner
+
+    def _forward(self, port: int, in_link: Link, priority: int):
         while True:
             pkt: Packet = yield in_link.receive(priority)
             yield self.engine.timeout(self.config.switch_latency_ns)
+            if pkt.sync is not None:
+                # in-network computing: tagged packets terminate in the
+                # combining stage instead of consuming a routing digit
+                combiner = self.combiner
+                if combiner is None:
+                    raise NetworkError(
+                        f"{self.name}: sync-tagged {pkt!r} reached a switch "
+                        "with no combining stage programmed"
+                    )
+                yield from combiner.accept(port, pkt)
+                continue
             out_port = pkt.next_port()
             out = self.out_links.get(out_port)
             if out is None:

@@ -105,6 +105,8 @@ class Ctrl:
 
         self._tx_work: Optional["Event"] = None
         self._rx_space: Dict[int, "Event"] = {}
+        #: per-rx-queue landing serialization (see :meth:`deliver`).
+        self._rx_landing: Dict[int, Resource] = {}
         self._tx_rr = 0
         self._started = False
 
@@ -402,6 +404,30 @@ class Ctrl:
         )
         yield self.tx_fifo.put(pkt)
 
+    def emit_sync(self, tag) -> Generator["Event", None, None]:
+        """Inject one sync-tagged packet (in-network computing request).
+
+        Tagged packets carry no source route — the first switch's
+        combining stage consumes them (see :mod:`repro.net.combine`) —
+        and travel high priority so congested bulk traffic cannot delay
+        a combining window.  They share the TX FIFO with ordinary
+        traffic: a sync request still queues behind the data packets the
+        aP already posted, exactly like the real NIU's single injection
+        port.
+        """
+        pkt = Packet(
+            PacketKind.DATA,
+            src=self.node_id,
+            dst=self.node_id,
+            dst_queue=tag.reply_queue,
+            payload=tag.pack(),
+            priority=PRIORITY_HIGH,
+            header_bytes=self.config.network.header_bytes,
+            sync=tag,
+        )
+        self.stats.counter(f"{self.name}.sync_injects").incr()
+        yield self.tx_fifo.put(pkt)
+
     def _route(self, dst_node: int) -> List[int]:
         assert self.net_port is not None, "no network attached"
         return self.net_port.network.route(self.node_id, dst_node)
@@ -488,36 +514,53 @@ class Ctrl:
             if span is not None:
                 span.end(outcome="shutdown")
             return
-        while q.is_full:
-            if q.full_policy is FullPolicy.DROP:
-                q.drops += 1
-                self._rx_drop(logical_q, "full")
-                if span is not None:
-                    span.end(outcome="drop")
-                return
-            if q.full_policy is FullPolicy.DIVERT:
-                yield from self._to_missq(
-                    ("overflow", logical_q, src_node, bytes(payload), flags)
-                )
-                if span is not None:
-                    span.end(outcome="overflow")
-                return
-            # BLOCK: wait for the consumer to free space (can deadlock the
-            # network — the paper says as much; that is the experiment)
-            ev = self._rx_space.get(slot)
-            if ev is None or ev.triggered:
-                ev = self.engine.event(name=f"{self.name}.rxspace{slot}")
-                self._rx_space[slot] = ev
-            yield ev
-        # Landing store: scatter-gather [header, payload] straight into the
-        # queue slot — the payload (possibly still a view of the sender's
-        # SRAM on the loopback path) is copied exactly here and nowhere
-        # earlier.  Timing-identical to writing the concatenation.
-        header = encode_rx_header(src_node, len(payload), flags)
-        yield from self.sram_write_parts(
-            q.bank, q.slot_offset(q.producer), (header, payload)
-        )
-        q.advance_producer(q.producer + 1)
+        # One landing engine per queue: from the fullness check to the
+        # producer advance, exactly one delivery may be in flight.  Two
+        # deliverers woken by the same freed slot would otherwise both
+        # read q.producer before either advances it — one message lands
+        # on top of the other and the next slot exposes a stale entry
+        # from the previous ring lap.
+        lock = self._rx_landing.get(slot)
+        if lock is None:
+            lock = self._rx_landing[slot] = Resource(
+                self.engine, 1, name=f"{self.name}.rxland{slot}")
+        yield lock.request()
+        try:
+            while q.is_full:
+                if q.full_policy is FullPolicy.DROP:
+                    q.drops += 1
+                    self._rx_drop(logical_q, "full")
+                    if span is not None:
+                        span.end(outcome="drop")
+                    return
+                if q.full_policy is FullPolicy.DIVERT:
+                    yield from self._to_missq(
+                        ("overflow", logical_q, src_node, bytes(payload),
+                         flags)
+                    )
+                    if span is not None:
+                        span.end(outcome="overflow")
+                    return
+                # BLOCK: wait for the consumer to free space (can deadlock
+                # the network — the paper says as much; that is the
+                # experiment)
+                ev = self._rx_space.get(slot)
+                if ev is None or ev.triggered:
+                    ev = self.engine.event(name=f"{self.name}.rxspace{slot}")
+                    self._rx_space[slot] = ev
+                yield ev
+            # Landing store: scatter-gather [header, payload] straight into
+            # the queue slot — the payload (possibly still a view of the
+            # sender's SRAM on the loopback path) is copied exactly here and
+            # nowhere earlier.  Timing-identical to writing the
+            # concatenation.
+            header = encode_rx_header(src_node, len(payload), flags)
+            yield from self.sram_write_parts(
+                q.bank, q.slot_offset(q.producer), (header, payload)
+            )
+            q.advance_producer(q.producer + 1)
+        finally:
+            lock.release()
         q.messages += 1
         self.stats.counter(f"{self.name}.msgs_delivered").incr()
         yield from self._shadow(q)

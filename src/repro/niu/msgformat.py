@@ -24,6 +24,12 @@ byte  meaning
 Receive entries reuse the same 8-byte shape with the source node in
 byte 1 and flags/length preserved, so user code decodes one format.
 
+Node numbers above one byte (machines past 256 nodes) use *wide*
+addressing: flag bit3 (WIDE) repurposes the TagOn bytes for the high
+halves — tx carries vdst high in byte 4 and source high in byte 6, rx
+carries source high in byte 4.  Wide is RAW-only and mutually exclusive
+with TagOn; the encoders set and strip the flag themselves.
+
 One message must fit one packet: ``payload + tagon <= 88``.  This is the
 model's (documented) simplification — see DESIGN.md §2; it is exact for
 every mechanism the paper exercises (Express+TagOn = 5+80 <= 88; block
@@ -45,6 +51,15 @@ ENTRY_BYTES = HEADER_BYTES + MAX_PAYLOAD
 FLAG_RAW = 0x01
 FLAG_TAGON = 0x02
 FLAG_EXPRESS = 0x04
+#: wide addressing: node numbers above one byte.  RAW-only and mutually
+#: exclusive with TagOn — the high bytes ride in the TagOn fields (tx:
+#: vdst high in byte 4, source high in byte 6; rx: source high in byte
+#: 4), so the entry stays 8 bytes.  Set/cleared by the encoders; user
+#: code never passes it.
+FLAG_WIDE = 0x08
+
+#: widest node number any header can carry (wide mode: 16-bit ids).
+MAX_NODE = 0xFFFF
 
 #: TagOn length codes, in 16-byte units (1.5 and 2.5 cache lines).
 TAGON_SMALL_UNITS = 3  # 48 bytes
@@ -71,6 +86,11 @@ class MsgHeader:
         return bool(self.flags & FLAG_RAW)
 
     @property
+    def is_wide(self) -> bool:
+        """True when a node number needs the second (wide) byte."""
+        return self.vdst > 0xFF or self.src_node > 0xFF
+
+    @property
     def has_tagon(self) -> bool:
         """True when SRAM data is appended at transmit time."""
         return bool(self.flags & FLAG_TAGON)
@@ -85,7 +105,20 @@ class MsgHeader:
         if not (0 <= self.length <= MAX_PAYLOAD):
             raise QueueError(f"payload length {self.length} outside 0..{MAX_PAYLOAD}")
         if not (0 <= self.vdst <= 255):
-            raise QueueError(f"vdst {self.vdst} outside one byte")
+            if not (0 <= self.vdst <= MAX_NODE):
+                raise QueueError(f"vdst {self.vdst} outside two bytes")
+            if not self.is_raw:
+                raise QueueError(
+                    f"vdst {self.vdst} outside one byte (translated "
+                    f"addressing caps at 256 nodes; use RAW)"
+                )
+            if self.has_tagon:
+                raise QueueError(
+                    "wide addressing and TagOn are mutually exclusive "
+                    "(they share header bytes)"
+                )
+        if not (0 <= self.src_node <= MAX_NODE):
+            raise QueueError(f"source node {self.src_node} outside two bytes")
         if self.has_tagon:
             if self.tagon_units not in (TAGON_SMALL_UNITS, TAGON_LARGE_UNITS):
                 raise QueueError(
@@ -104,6 +137,19 @@ class MsgHeader:
 def encode_header(h: MsgHeader) -> bytes:
     """Pack a :class:`MsgHeader` into its 8 SRAM bytes."""
     h.validate()
+    if h.is_wide:
+        return bytes(
+            [
+                (h.flags | FLAG_WIDE) & 0xFF,
+                h.vdst & 0xFF,
+                h.dst_queue & 0xFF,
+                h.length & 0xFF,
+                (h.vdst >> 8) & 0xFF,
+                0,
+                (h.src_node >> 8) & 0xFF,
+                h.src_node & 0xFF,
+            ]
+        )
     off_units = h.tagon_offset // 8
     if not (0 <= off_units < 0x8000):
         raise QueueError(f"TagOn offset {h.tagon_offset:#x} unencodable")
@@ -126,6 +172,14 @@ def decode_header(raw: bytes) -> MsgHeader:
     """Unpack 8 SRAM bytes into a :class:`MsgHeader`."""
     if len(raw) != HEADER_BYTES:
         raise QueueError(f"header must be {HEADER_BYTES} bytes, got {len(raw)}")
+    if raw[0] & FLAG_WIDE:
+        return MsgHeader(
+            flags=raw[0] & ~FLAG_WIDE,
+            vdst=raw[1] | (raw[4] << 8),
+            dst_queue=raw[2],
+            length=raw[3],
+            src_node=raw[7] | (raw[6] << 8),
+        )
     word45 = (raw[4] << 8) | raw[5]
     return MsgHeader(
         flags=raw[0],
@@ -145,6 +199,11 @@ def encode_rx_header(
     """Receive-side entry header written by CTRL on message arrival."""
     if not (0 <= length <= MAX_PAYLOAD):
         raise QueueError(f"rx length {length} outside 0..{MAX_PAYLOAD}")
+    if not (0 <= src_node <= MAX_NODE):
+        raise QueueError(f"source node {src_node} outside two bytes")
+    if src_node > 0xFF:
+        return bytes([(flags | FLAG_WIDE) & 0xFF, src_node & 0xFF, 0,
+                      length & 0xFF, (src_node >> 8) & 0xFF, 0, 0, 0])
     return bytes([flags & 0xFF, src_node & 0xFF, 0, length & 0xFF, 0, 0, 0, 0])
 
 
@@ -152,4 +211,6 @@ def decode_rx_header(raw: bytes) -> Tuple[int, int, int]:
     """Return ``(src_node, length, flags)`` from a receive entry header."""
     if len(raw) != HEADER_BYTES:
         raise QueueError(f"header must be {HEADER_BYTES} bytes, got {len(raw)}")
+    if raw[0] & FLAG_WIDE:
+        return raw[1] | (raw[4] << 8), raw[3], raw[0] & ~FLAG_WIDE
     return raw[1], raw[3], raw[0]

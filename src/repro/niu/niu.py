@@ -124,12 +124,13 @@ def needs_raw_addressing(n_nodes: int) -> bool:
     """True when a machine exceeds the byte-vdst translation convention.
 
     The one-byte vdst field packs ``node*16 + queue``, so translated
-    addressing tops out at 16 nodes.  Larger machines (up to the 256
-    physical nodes a RAW header byte can name) run kernel-mode RAW
-    addressing instead: the header carries the physical node and logical
-    queue directly and the machine assembly marks every tx queue
+    addressing tops out at 16 nodes.  Larger machines run kernel-mode
+    RAW addressing instead: the header carries the physical node and
+    logical queue directly and the machine assembly marks every tx queue
     ``allow_raw`` (single-job kernel mode — per-queue translation
-    protection is a 16-node-scale feature of the model).
+    protection is a 16-node-scale feature of the model).  Past 256
+    nodes the encoders switch the header to wide (16-bit) node numbers
+    — see :mod:`repro.niu.msgformat`.
     """
     return n_nodes > 16
 

@@ -15,7 +15,12 @@ Typical use::
 """
 
 from repro.obs.core import Observability
-from repro.obs.histogram import Histogram, bucket_bounds, bucket_index, bucket_mid
+from repro.common.histogram import (
+    Histogram,
+    bucket_bounds,
+    bucket_index,
+    bucket_mid,
+)
 from repro.obs.perfetto import export_perfetto, trace_events
 from repro.obs.sampler import QueueSampler
 from repro.obs.snapshot import (

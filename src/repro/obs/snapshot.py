@@ -18,7 +18,7 @@ key                   contents
 ``counters``          flat name -> int (monotonic event counts)
 ``accumulators``      name -> {n, mean, min, max, total, stddev,
                       p50, p90, p99} (percentiles from the log-bucketed
-                      :class:`~repro.obs.histogram.Histogram`)
+                      :class:`~repro.common.histogram.Histogram`)
 ``busy_ns``           busy-tracker name -> accumulated busy nanoseconds
 ``occupancy``         node id (str) -> {"ap": fraction, "sp": fraction}
 ``config``            flat machine configuration (``MachineConfig.describe``)

@@ -45,7 +45,7 @@ class Counter:
 
 class Accumulator:
     """Streaming mean/min/max/variance over float samples (Welford),
-    with a log-bucketed :class:`~repro.obs.histogram.Histogram` riding
+    with a log-bucketed :class:`~repro.common.histogram.Histogram` riding
     along so every latency site reports p50/p90/p99 for free."""
 
     __slots__ = ("name", "n", "_mean", "_m2", "min", "max", "total", "hist")

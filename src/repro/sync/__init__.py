@@ -1,0 +1,53 @@
+"""``repro.sync`` — in-network computing and scalable synchronization.
+
+Switch-resident combining (:mod:`repro.net.combine`) planned over the
+fat tree (:mod:`repro.sync.plan`), served at the endpoints by sP
+firmware (:mod:`repro.sync.firmware`), and exposed to programs as a
+small library of scalable primitives (:mod:`repro.sync.api`):
+counters, barriers, locks and a work-stealing deque, each with both an
+in-switch transport and a pure-endpoint fallback.
+"""
+
+from repro.net.combine import (
+    OP_ADD,
+    OP_CSWAP,
+    OP_MAX,
+    OP_MIN,
+    OP_OR,
+    OP_SWAP,
+)
+from repro.sync.api import (
+    SYNC_RX_LOGICAL,
+    SYNC_TX_INDEX,
+    Barrier,
+    Counter,
+    McsLock,
+    SyncFabric,
+    SyncGroup,
+    TasLock,
+    TicketLock,
+    WorkDeque,
+)
+from repro.sync.plan import SwitchTreePlan, plan_group, validate_plan
+
+__all__ = [
+    "OP_ADD",
+    "OP_CSWAP",
+    "OP_MAX",
+    "OP_MIN",
+    "OP_OR",
+    "OP_SWAP",
+    "SYNC_RX_LOGICAL",
+    "SYNC_TX_INDEX",
+    "Barrier",
+    "Counter",
+    "McsLock",
+    "SwitchTreePlan",
+    "SyncFabric",
+    "SyncGroup",
+    "TasLock",
+    "TicketLock",
+    "WorkDeque",
+    "plan_group",
+    "validate_plan",
+]

@@ -1,0 +1,601 @@
+"""Scalable synchronization primitives over combining hardware.
+
+The library half of in-network computing: every primitive here is built
+from two tiny verbs a :class:`SyncGroup` provides —
+
+* :meth:`SyncGroup.cell_op` — fetch-and-op on a named 64-bit cell
+  (add / min / max / or / swap / compare-and-swap);
+* :meth:`SyncGroup.tree_op` — a full-group combining collective
+  (barrier when the value is ignored, allreduce when it is not).
+
+Each verb has two transports selected per group:
+
+* ``mode="switch"`` — in-network computing.  ``cell_op`` requests ride
+  sync-tagged packets that *combine at the switches* on their way to
+  the cell's home switch (Ultracomputer-style fetch-and-add combining);
+  ``tree_op`` runs over a planned SHARP-style reduction tree
+  (:mod:`repro.sync.plan`), one packet per tree edge per direction.
+* ``mode="endpoint"`` — the pure-endpoint fallback: the same wire
+  verbs served by a single home sP (:mod:`repro.sync.firmware`).  This
+  is both the degraded path for machines without a network and the
+  hot-spot baseline ``benchmarks/bench_sync.py`` measures against.
+
+On top of the verbs: :class:`Counter`, three locks of increasing
+sophistication (:class:`TasLock`, :class:`TicketLock` — fetch-and-add
+tickets, FIFO fair — and :class:`McsLock` — a queue lock whose handoff
+is two point-to-point messages), :class:`Barrier` in counting /
+software-tree / in-switch variants, and a :class:`WorkDeque` for
+work stealing.
+
+Concurrency model: one sync client per node — the per-node port
+(aP tx queue ``SYNC_TX_INDEX``, rx logical ``SYNC_RX_LOGICAL``) is a
+polled Basic-message endpoint and is not reentrant, exactly like the
+MiniMPI port convention.  All methods are generator fragments run on
+the calling aP (``yield from``), so every operation pays real bus,
+queue and (where applicable) network cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
+
+from repro.common.errors import ConfigError, ProgramError
+from repro.firmware.proto import (
+    DEQUE_POP,
+    DEQUE_PUSH,
+    DEQUE_STEAL,
+    MSG_SYNC_REP,
+    MSG_SYNC_TREE_REP,
+    pack_sync_cbar,
+    pack_sync_deque,
+    pack_sync_inject,
+    pack_sync_req,
+    unpack_sync_rep,
+    unpack_sync_tree_rep,
+)
+from repro.mp.basic import BasicPort
+from repro.net.combine import (
+    MODE_FETCH,
+    MODE_TREE,
+    OP_ADD,
+    OP_CSWAP,
+    OP_OR,
+    OP_SWAP,
+    PHASE_REQ,
+    SyncTag,
+)
+from repro.niu.niu import SP_SERVICE_QUEUE, needs_raw_addressing, vdst_for
+from repro.sync.firmware import ensure_sync_firmware
+from repro.sync.plan import SwitchTreePlan, plan_group
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import StarTVoyager
+    from repro.node.ap import ApApi
+    from repro.sim.events import Event
+
+#: the sync library's queue convention (MiniMPI owns tx/rx 2).
+SYNC_TX_INDEX = 3
+SYNC_RX_LOGICAL = 3
+
+#: aP-to-aP message bytes on the sync port (user type space, >= 64).
+BAR_UP = 65  #: software-tree barrier: subtree complete
+BAR_DOWN = 66  #: software-tree barrier: release going down
+LOCK_LINK = 67  #: MCS: successor announces itself to its predecessor
+LOCK_GRANT = 68  #: MCS: predecessor hands the lock over
+
+
+class _NodeClient:
+    """One node's sync endpoint: the port, its demux inbox, request ids."""
+
+    __slots__ = ("node_id", "port", "inbox", "req")
+
+    def __init__(self, board, node_id: int) -> None:
+        self.node_id = node_id
+        self.port = BasicPort(board, SYNC_TX_INDEX, SYNC_RX_LOGICAL)
+        #: arrived-but-unclaimed messages (out-of-order replies, early
+        #: LINKs, sibling barrier traffic): (src, payload).
+        self.inbox: List[Tuple[int, bytes]] = []
+        self.req = 0
+
+
+class SyncFabric:
+    """Machine-wide context for sync groups (one per machine).
+
+    Owns group-id allocation, the per-node client ports, and the hook
+    into the combine sanitizer when one is armed.  Obtain via
+    :meth:`repro.core.machine.StarTVoyager.sync_fabric`.
+    """
+
+    __slots__ = ("machine", "engine", "stats", "wide", "sanitizer",
+                 "groups", "_next_gid", "_clients")
+
+    def __init__(self, machine: "StarTVoyager") -> None:
+        self.machine = machine
+        self.engine = machine.engine
+        self.stats = machine.stats
+        self.wide = needs_raw_addressing(machine.config.n_nodes)
+        sanitizer = None
+        layer = machine.sanitizers
+        if layer is not None:
+            try:
+                sanitizer = layer.checker("combine")
+            except ConfigError:
+                sanitizer = None
+        self.sanitizer = sanitizer
+        self.groups: Dict[int, "SyncGroup"] = {}
+        self._next_gid = 1
+        self._clients: Dict[int, _NodeClient] = {}
+        ensure_sync_firmware(machine)
+
+    def client(self, node: int) -> _NodeClient:
+        """The (lazily created) sync endpoint of one node."""
+        cl = self._clients.get(node)
+        if cl is None:
+            cl = self._clients[node] = _NodeClient(
+                self.machine.node(node), node)
+        return cl
+
+    def group(self, members, mode: str = "switch") -> "SyncGroup":
+        """Create a sync group over ``members`` (node ids).
+
+        ``mode="switch"`` plans a combining tree through the fabric
+        (degrading to endpoint service when the machine has no
+        network); ``mode="endpoint"`` forces the sP-served path.
+        """
+        if mode not in ("switch", "endpoint"):
+            raise ConfigError(f"unknown sync mode {mode!r}")
+        gid = self._next_gid
+        self._next_gid += 1
+        grp = SyncGroup(self, gid, members, mode)
+        self.groups[gid] = grp
+        return grp
+
+
+class SyncGroup:
+    """One reduction group: a member set plus its transport."""
+
+    __slots__ = ("fabric", "gid", "members", "mode", "switch", "plan",
+                 "_rank", "_seq")
+
+    def __init__(self, fabric: SyncFabric, gid: int, members,
+                 mode: str) -> None:
+        self.fabric = fabric
+        self.gid = gid
+        self.members: Tuple[int, ...] = tuple(sorted(set(members)))
+        if not self.members:
+            raise ConfigError("a sync group needs at least one member")
+        machine = fabric.machine
+        net = machine.network
+        self.switch = mode == "switch" and net is not None
+        self.mode = "switch" if self.switch else "endpoint"
+        self.plan: Optional[SwitchTreePlan] = None
+        if self.switch:
+            self.plan = plan_group(net.topology, gid, self.members,
+                                   seed=machine.config.seed)
+            for key, prog in self.plan.programs.items():
+                stage = net.switches[key].ensure_combiner(
+                    stats=machine.stats, sanitizer=fabric.sanitizer)
+                stage.load(prog)
+        self._rank = {m: i for i, m in enumerate(self.members)}
+        #: per-member collective sequence counters (must stay aligned:
+        #: members call collectives in the same order, as in MPI).
+        self._seq: Dict[int, int] = {}
+
+    def rank_of(self, node: int) -> int:
+        """The member's dense rank inside the group."""
+        try:
+            return self._rank[node]
+        except KeyError:
+            raise ProgramError(
+                f"node {node} is not a member of sync group {self.gid}"
+            ) from None
+
+    def home(self, cell: int) -> int:
+        """Endpoint mode: the member whose sP serves ``cell``."""
+        return self.members[cell % len(self.members)]
+
+    # -- transport helpers -------------------------------------------------
+
+    def _to_sp(self, api: "ApApi", cl: _NodeClient, dst_node: int,
+               payload: bytes) -> Generator["Event", None, None]:
+        """One message into ``dst_node``'s sP service queue, wide-safe."""
+        if self.fabric.wide:
+            yield from cl.port.send(api, dst_node, payload, raw=True,
+                                    dst_queue=SP_SERVICE_QUEUE)
+        else:
+            yield from cl.port.send(
+                api, vdst_for(dst_node, SP_SERVICE_QUEUE), payload)
+
+    def _to_member(self, api: "ApApi", cl: _NodeClient, member: int,
+                   payload: bytes) -> Generator["Event", None, None]:
+        """One aP-to-aP message onto a member's sync rx queue."""
+        if self.fabric.wide:
+            yield from cl.port.send(api, member, payload, raw=True,
+                                    dst_queue=SYNC_RX_LOGICAL)
+        else:
+            yield from cl.port.send(
+                api, vdst_for(member, SYNC_RX_LOGICAL), payload)
+
+    def _await_rep(self, api: "ApApi", cl: _NodeClient, req: int
+                   ) -> Generator["Event", None, Tuple[bool, int]]:
+        """Wait for the ``MSG_SYNC_REP`` matching request id ``req``."""
+        for i, (_src, p) in enumerate(cl.inbox):
+            if p[0] == MSG_SYNC_REP:
+                rtok, ok, value = unpack_sync_rep(p)
+                if rtok == req:
+                    del cl.inbox[i]
+                    return ok, value
+        while True:
+            src, p = yield from cl.port.recv(api)
+            if p[0] == MSG_SYNC_REP:
+                rtok, ok, value = unpack_sync_rep(p)
+                if rtok == req:
+                    return ok, value
+            cl.inbox.append((src, p))
+
+    def _await_tree(self, api: "ApApi", cl: _NodeClient, seq: int
+                    ) -> Generator["Event", None, int]:
+        """Wait for this group's ``MSG_SYNC_TREE_REP`` carrying ``seq``."""
+        for i, (_src, p) in enumerate(cl.inbox):
+            if p[0] == MSG_SYNC_TREE_REP:
+                g, s, value = unpack_sync_tree_rep(p)
+                if g == self.gid and s == seq:
+                    del cl.inbox[i]
+                    return value
+        while True:
+            src, p = yield from cl.port.recv(api)
+            if p[0] == MSG_SYNC_TREE_REP:
+                g, s, value = unpack_sync_tree_rep(p)
+                if g == self.gid and s == seq:
+                    return value
+            cl.inbox.append((src, p))
+
+    def _await_user(self, api: "ApApi", cl: _NodeClient, kind: int,
+                    cell: int) -> Generator["Event", None, int]:
+        """Wait for one user-space sync message; returns its origin."""
+        want = bytes([kind]) + self.gid.to_bytes(4, "big") \
+            + cell.to_bytes(4, "big")
+        for i, (_src, p) in enumerate(cl.inbox):
+            if p.startswith(want):
+                del cl.inbox[i]
+                return int.from_bytes(p[9:13], "big")
+        while True:
+            src, p = yield from cl.port.recv(api)
+            if p.startswith(want):
+                return int.from_bytes(p[9:13], "big")
+            cl.inbox.append((src, p))
+
+    def _user_msg(self, kind: int, cell: int, origin: int) -> bytes:
+        return (bytes([kind]) + self.gid.to_bytes(4, "big")
+                + cell.to_bytes(4, "big") + origin.to_bytes(4, "big"))
+
+    # -- the two verbs -----------------------------------------------------
+
+    def cell_op(self, api: "ApApi", node: int, cell: int, op: int,
+                value: int, aux: int = 0
+                ) -> Generator["Event", None, int]:
+        """Fetch-and-op on one cell; returns the pre-op value.
+
+        Serializable: the returned values are exactly those of *some*
+        serial order of the concurrent requests (in switch mode the
+        order fixed by combining; at an sP, arrival order).
+        """
+        self.rank_of(node)
+        cl = self.fabric.client(node)
+        cl.req += 1
+        req = cl.req
+        if self.switch:
+            tag = SyncTag(PHASE_REQ, MODE_FETCH, self.gid, op, value=value,
+                          cell=cell, aux=aux, token=req, origin=node,
+                          reply_queue=SYNC_RX_LOGICAL)
+            yield from self._to_sp(api, cl, node,
+                                   pack_sync_inject(tag.pack()))
+        else:
+            yield from self._to_sp(
+                api, cl, self.home(cell),
+                pack_sync_req(self.gid, cell, op, node, req,
+                              SYNC_RX_LOGICAL, value, aux))
+        _ok, old = yield from self._await_rep(api, cl, req)
+        return old
+
+    def tree_op(self, api: "ApApi", node: int, op: int, value: int = 0
+                ) -> Generator["Event", None, int]:
+        """Full-group combining collective; returns the folded value.
+
+        Every member must call once per collective, in the same order
+        (the MPI collective-call discipline).  Switch mode combines in
+        the planned reduction tree; endpoint mode serializes at the
+        group's home sP.
+        """
+        self.rank_of(node)
+        cl = self.fabric.client(node)
+        seq = self._seq.get(node, 0) + 1
+        self._seq[node] = seq
+        if self.switch:
+            tag = SyncTag(PHASE_REQ, MODE_TREE, self.gid, op, value=value,
+                          seq=seq, origin=node,
+                          reply_queue=SYNC_RX_LOGICAL)
+            yield from self._to_sp(api, cl, node,
+                                   pack_sync_inject(tag.pack()))
+        else:
+            yield from self._to_sp(
+                api, cl, self.members[0],
+                pack_sync_cbar(self.gid, seq, node, len(self.members),
+                               SYNC_RX_LOGICAL, op, value))
+        result = yield from self._await_tree(api, cl, seq)
+        return result
+
+    # -- primitive factories ----------------------------------------------
+
+    def counter(self, cell: int = 0) -> "Counter":
+        return Counter(self, cell)
+
+    def barrier(self, variant: str = "switch") -> "Barrier":
+        return Barrier(self, variant)
+
+    def tas_lock(self, cell: int = 0) -> "TasLock":
+        return TasLock(self, cell)
+
+    def ticket_lock(self, cell: int = 0) -> "TicketLock":
+        return TicketLock(self, cell)
+
+    def mcs_lock(self, cell: int = 0) -> "McsLock":
+        return McsLock(self, cell)
+
+    def deque(self, owner_rank: int = 0) -> "WorkDeque":
+        return WorkDeque(self, owner_rank)
+
+
+class Counter:
+    """A shared fetch-and-add counter on one cell."""
+
+    __slots__ = ("group", "cell")
+
+    def __init__(self, group: SyncGroup, cell: int) -> None:
+        self.group = group
+        self.cell = cell
+
+    def add(self, api: "ApApi", node: int, value: int = 1
+            ) -> Generator["Event", None, int]:
+        """Atomic add; returns the pre-add value."""
+        old = yield from self.group.cell_op(api, node, self.cell, OP_ADD,
+                                            value)
+        return old
+
+    def read(self, api: "ApApi", node: int
+             ) -> Generator["Event", None, int]:
+        """Current value (a fetch-and-add of zero, so reads combine too)."""
+        old = yield from self.group.cell_op(api, node, self.cell, OP_ADD, 0)
+        return old
+
+
+class Barrier:
+    """Group barrier in three variants.
+
+    * ``"counting"`` — every member messages the home sP, which counts
+      arrivals and unicasts releases: O(N) work at one node, the
+      textbook hot spot.
+    * ``"tree"`` — a software combining tree over aP-to-aP messages:
+      O(log N) depth, but every combine is an endpoint hop.
+    * ``"switch"`` — the in-switch reduction tree: combining happens in
+      the fabric, one packet per tree edge (endpoint service when the
+      group has no switch plan).
+    """
+
+    __slots__ = ("group", "variant", "_seq")
+
+    VARIANTS = ("counting", "tree", "switch")
+
+    def __init__(self, group: SyncGroup, variant: str) -> None:
+        if variant not in self.VARIANTS:
+            raise ConfigError(f"unknown barrier variant {variant!r}")
+        self.group = group
+        self.variant = variant
+        self._seq: Dict[int, int] = {}
+
+    def wait(self, api: "ApApi", node: int
+             ) -> Generator["Event", None, None]:
+        g = self.group
+        if len(g.members) == 1:
+            return
+        if self.variant == "tree":
+            yield from self._tree_wait(api, node)
+            return
+        if self.variant == "counting":
+            # force the central sP server even on a switch-mode group
+            cl = g.fabric.client(node)
+            seq = self._seq.get(node, 0) + 1
+            self._seq[node] = seq
+            # barrier sequences must not collide with tree_op sequences
+            # at the home sP: offset them into their own space
+            yield from g._to_sp(
+                api, cl, g.members[0],
+                pack_sync_cbar(g.gid, 0x40000000 + seq, node,
+                               len(g.members), SYNC_RX_LOGICAL, OP_ADD, 0))
+            yield from g._await_tree(api, cl, 0x40000000 + seq)
+            return
+        yield from g.tree_op(api, node, OP_ADD, 0)
+
+    def _tree_wait(self, api: "ApApi", node: int
+                   ) -> Generator["Event", None, None]:
+        """Binary software combining tree over group ranks."""
+        g = self.group
+        cl = g.fabric.client(node)
+        rank = g.rank_of(node)
+        n = len(g.members)
+        seq = self._seq.get(node, 0) + 1
+        self._seq[node] = seq
+        children = [c for c in (2 * rank + 1, 2 * rank + 2) if c < n]
+        for _ in children:
+            yield from g._await_user(api, cl, BAR_UP, seq)
+        if rank > 0:
+            parent = g.members[(rank - 1) // 2]
+            yield from g._to_member(api, cl, parent,
+                                    g._user_msg(BAR_UP, seq, node))
+            yield from g._await_user(api, cl, BAR_DOWN, seq)
+        for c in children:
+            yield from g._to_member(api, cl, g.members[c],
+                                    g._user_msg(BAR_DOWN, seq, node))
+
+
+class TasLock:
+    """Test-and-set spinlock: the simplest — and under contention the
+    worst — primitive; every retry is a full round trip."""
+
+    __slots__ = ("group", "cell")
+
+    def __init__(self, group: SyncGroup, cell: int) -> None:
+        self.group = group
+        self.cell = cell
+
+    def acquire(self, api: "ApApi", node: int
+                ) -> Generator["Event", None, int]:
+        """Spin (with exponential backoff) until the set wins.  Returns
+        the number of failed attempts (contention diagnostics)."""
+        tries = 0
+        backoff = 60
+        while True:
+            old = yield from self.group.cell_op(api, node, self.cell,
+                                                OP_OR, 1)
+            if old == 0:
+                return tries
+            tries += 1
+            yield from api.compute(backoff)
+            backoff = min(backoff * 2, 2000)
+
+    def release(self, api: "ApApi", node: int
+                ) -> Generator["Event", None, None]:
+        yield from self.group.cell_op(api, node, self.cell, OP_SWAP, 0)
+
+
+class TicketLock:
+    """Fetch-and-add ticket lock: FIFO fair by construction.
+
+    Uses two cells: ``cell`` holds the next ticket, ``cell + 1`` the
+    now-serving number.  In switch mode both the ticket grab and the
+    now-serving poll (a fetch-and-add of zero) *combine*, so a storm of
+    spinners costs the home one packet per combining window instead of
+    one per spinner — the Ultracomputer polling argument.
+    """
+
+    __slots__ = ("group", "cell")
+
+    def __init__(self, group: SyncGroup, cell: int) -> None:
+        self.group = group
+        self.cell = cell
+
+    def acquire(self, api: "ApApi", node: int
+                ) -> Generator["Event", None, int]:
+        """Take a ticket, spin until served; returns the ticket."""
+        ticket = yield from self.group.cell_op(api, node, self.cell,
+                                               OP_ADD, 1)
+        while True:
+            serving = yield from self.group.cell_op(api, node, self.cell + 1,
+                                                    OP_ADD, 0)
+            if serving == ticket:
+                return ticket
+            yield from api.compute(120)
+
+    def release(self, api: "ApApi", node: int
+                ) -> Generator["Event", None, None]:
+        yield from self.group.cell_op(api, node, self.cell + 1, OP_ADD, 1)
+
+
+class McsLock:
+    """MCS-style queue lock: constant traffic per handoff.
+
+    The tail cell holds the last waiter's node id + 1 (0 = free).
+    Acquire swaps itself in; a contended acquirer announces itself to
+    its predecessor (``LOCK_LINK``) and blocks for ``LOCK_GRANT``.
+    Release compare-and-swaps the tail back to 0 — the one place the
+    non-combining CSWAP is required: a plain swap would race a
+    concurrent enqueuer and strand it.
+    """
+
+    __slots__ = ("group", "cell")
+
+    def __init__(self, group: SyncGroup, cell: int) -> None:
+        self.group = group
+        self.cell = cell
+
+    def acquire(self, api: "ApApi", node: int
+                ) -> Generator["Event", None, None]:
+        g = self.group
+        prev = yield from g.cell_op(api, node, self.cell, OP_SWAP, node + 1)
+        if prev == 0:
+            return
+        cl = g.fabric.client(node)
+        yield from g._to_member(api, cl, prev - 1,
+                                g._user_msg(LOCK_LINK, self.cell, node))
+        yield from g._await_user(api, cl, LOCK_GRANT, self.cell)
+
+    def release(self, api: "ApApi", node: int
+                ) -> Generator["Event", None, None]:
+        g = self.group
+        old = yield from g.cell_op(api, node, self.cell, OP_CSWAP, 0,
+                                   aux=node + 1)
+        if old == node + 1:
+            return  # no successor; the CSWAP freed the lock
+        cl = g.fabric.client(node)
+        successor = yield from g._await_user(api, cl, LOCK_LINK, self.cell)
+        yield from g._to_member(api, cl, successor,
+                                g._user_msg(LOCK_GRANT, self.cell, node))
+
+
+class WorkDeque:
+    """A work-stealing deque owned by one member's sP.
+
+    The owner pushes/pops at the tail (LIFO — locality), thieves steal
+    from the head (FIFO — oldest, largest work first).  One deque per
+    (group, owner).
+    """
+
+    __slots__ = ("group", "owner")
+
+    def __init__(self, group: SyncGroup, owner_rank: int) -> None:
+        self.group = group
+        self.owner = group.members[owner_rank]
+
+    def _op(self, api: "ApApi", node: int, verb: int, value: int
+            ) -> Generator["Event", None, Tuple[bool, int]]:
+        g = self.group
+        cl = g.fabric.client(node)
+        cl.req += 1
+        req = cl.req
+        yield from g._to_sp(
+            api, cl, self.owner,
+            pack_sync_deque(g.gid, verb, node, req, SYNC_RX_LOGICAL, value))
+        ok, got = yield from g._await_rep(api, cl, req)
+        return ok, got
+
+    def push(self, api: "ApApi", node: int, value: int
+             ) -> Generator["Event", None, int]:
+        """Append one work item; returns the deque depth after the push."""
+        _ok, depth = yield from self._op(api, node, DEQUE_PUSH, value)
+        return depth
+
+    def pop(self, api: "ApApi", node: int
+            ) -> Generator["Event", None, Optional[int]]:
+        """Owner-side LIFO pop; None when empty."""
+        ok, got = yield from self._op(api, node, DEQUE_POP, 0)
+        return got if ok else None
+
+    def steal(self, api: "ApApi", node: int
+              ) -> Generator["Event", None, Optional[int]]:
+        """Thief-side FIFO steal; None when empty."""
+        ok, got = yield from self._op(api, node, DEQUE_STEAL, 0)
+        return got if ok else None
+
+
+__all__ = [
+    "SYNC_RX_LOGICAL",
+    "SYNC_TX_INDEX",
+    "Barrier",
+    "Counter",
+    "McsLock",
+    "SyncFabric",
+    "SyncGroup",
+    "TasLock",
+    "TicketLock",
+    "WorkDeque",
+]

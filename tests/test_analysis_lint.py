@@ -190,8 +190,10 @@ def test_det004_applies_everywhere():
 
 def test_arch001_sim_may_only_import_sim_and_common():
     assert rules_of("from repro.net.link import Link\n", SIM) == ["ARCH001"]
-    assert rules_of("from repro.obs.histogram import Histogram\n", SIM) \
+    assert rules_of("from repro.obs.core import Observability\n", SIM) \
         == ["ARCH001"]
+    assert rules_of("from repro.common.histogram import Histogram\n", SIM) \
+        == []
     src = "from repro.sim.events import Event\nfrom repro.common.errors import ReproError\n"
     assert rules_of(src, SIM) == []
 

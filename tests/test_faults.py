@@ -145,6 +145,24 @@ def _loss_point(spec):
     return got, sorted(rep.items())
 
 
+def test_fault_sweep_byte_identical_across_jobs():
+    """The full benchmark grid (``benchmarks/bench_faults.fault_sweep``)
+    merges byte-identically whether run inline or over worker processes
+    — the wall-clock gauges are stripped per point, everything else is
+    seeded simulation."""
+    import os
+    import sys
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if root not in sys.path:
+        sys.path.insert(0, root)
+    from benchmarks.bench_faults import fault_sweep
+
+    a = fault_sweep(jobs=1, loss_rates=(0.02,))
+    b = fault_sweep(jobs=2, loss_rates=(0.02,))
+    assert a == b
+
+
 def test_minimpi_reliable_multifragment_over_lossy_fabric():
     """``MiniMPI(reliable=True)`` reassembles a multi-fragment message
     exactly even when the fabric drops and corrupts packets."""

@@ -88,3 +88,51 @@ def test_rx_header_roundtrip():
 def test_rx_header_length_cap():
     with pytest.raises(QueueError):
         encode_rx_header(0, MAX_PAYLOAD + 1)
+
+
+# ----------------------------------------------------------------------
+# wide addressing (node numbers past one byte; machines past 256 nodes)
+# ----------------------------------------------------------------------
+
+
+def test_wide_roundtrip():
+    h = MsgHeader(flags=FLAG_RAW, vdst=777, dst_queue=5, length=44,
+                  src_node=1023)
+    raw = encode_header(h)
+    assert len(raw) == HEADER_BYTES
+    back = decode_header(raw)
+    assert (back.vdst, back.dst_queue, back.length, back.src_node) \
+        == (777, 5, 44, 1023)
+    assert back.is_raw and not back.has_tagon
+
+
+def test_wide_requires_raw():
+    with pytest.raises(QueueError, match="use RAW"):
+        MsgHeader(vdst=300).validate()
+
+
+def test_wide_excludes_tagon():
+    with pytest.raises(QueueError, match="mutually exclusive"):
+        MsgHeader(flags=FLAG_RAW | FLAG_TAGON, vdst=300,
+                  tagon_units=TAGON_SMALL_UNITS).validate()
+
+
+def test_wide_node_cap():
+    with pytest.raises(QueueError, match="outside two bytes"):
+        MsgHeader(flags=FLAG_RAW, vdst=0x10000).validate()
+
+
+def test_narrow_encoding_unchanged_by_wide_support():
+    """Headers for nodes <= 255 must not grow the flag — byte-exact
+    compatibility with every pre-wide trace."""
+    raw = encode_header(MsgHeader(flags=FLAG_RAW, vdst=255, dst_queue=3,
+                                  length=8))
+    assert raw[0] == FLAG_RAW and raw[4] == 0 and raw[6] == 0
+
+
+def test_wide_rx_header_roundtrip():
+    raw = encode_rx_header(src_node=900, length=21, flags=2)
+    assert len(raw) == HEADER_BYTES
+    assert decode_rx_header(raw) == (900, 21, 2)
+    # narrow sources keep the legacy single-byte shape
+    assert encode_rx_header(17, 21, 2)[4] == 0
