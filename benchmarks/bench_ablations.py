@@ -21,7 +21,7 @@ from benchmarks.conftest import record
 from repro.bench import fresh_machine
 from repro.core.blocktransfer import BlockTransferExperiment
 from repro.mp.basic import BasicPort
-from repro.niu.niu import vdst_for
+from repro.mp import vdst_for
 
 HEADER = ["knob", "value", "metric", "result"]
 SIZE = 16384

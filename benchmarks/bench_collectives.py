@@ -114,21 +114,16 @@ def _emit():
 # direct CLI (parallel sweep)
 # ----------------------------------------------------------------------
 
-def main(argv=None):
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the sweep (output is "
-                             "byte-identical for any value; default 1)")
+def _flags(parser):
     parser.add_argument("--repeats", type=int, default=2,
                         help="back-to-back calls per point (default 2)")
     parser.add_argument("--out", default=os.path.join(
                             os.path.dirname(os.path.abspath(__file__)),
                             "results", "collectives.json"),
                         help="output JSON path")
-    args = parser.parse_args(argv)
 
+
+def run(args):
     points = collective_metrics_sweep(
         ["barrier", "bcast", "allreduce"], NODES, ALGOS,
         repeats=args.repeats, jobs=args.jobs)
@@ -140,10 +135,24 @@ def main(argv=None):
     rows = [[name, algo] + [series[name][algo][n] / 1000.0 for n in NODES]
             for name in series for algo in series[name]]
     print_table("collective scaling (us)", HEADER, rows)
-    path = emit_json(args.out, {"unit": "ns", "nodes": NODES,
-                                "series": series})
+    path = emit_json(args.json or args.out,
+                     {"unit": "ns", "nodes": NODES, "series": series})
     print(f"results: {path}")
 
 
+BENCH = {
+    "summary": "Collective latency scaling: flat vs tree vs NIC vs switch",
+    "flags": _flags,
+    "run": run,
+}
+
+
+def main(argv=None):
+    from repro.bench.cli import main as bench_main
+
+    return bench_main(
+        ["collectives", *(sys.argv[1:] if argv is None else list(argv))])
+
+
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

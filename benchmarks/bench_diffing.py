@@ -64,7 +64,7 @@ def _update_release(diff: bool):
 
 
 def _reflective():
-    from repro.firmware.reflective import install_reflective
+    from repro.firmware.reflective import install_reflective  # repro: allow ARCH002 -- measures the reflective firmware layer itself
 
     machine = fresh_machine(3)
     for n in range(3):

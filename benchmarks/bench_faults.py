@@ -110,7 +110,7 @@ def stream_point(spec):
             if reliable:
                 yield from p0.send_reliable(api, 1, payload)
             else:
-                from repro.niu.niu import vdst_for
+                from repro.mp import vdst_for
                 yield from p0.send(api, vdst_for(1, 0), payload)
 
     def receiver(api):
@@ -240,24 +240,12 @@ def _us(v):
     return "-" if v is None else v / 1000.0
 
 
-def main(argv=None):
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--emit-metrics", action="store_true",
-                        help="write the sweep + per-point metrics snapshots "
-                             "to benchmarks/results/faults_metrics.json")
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the sweep (output is "
-                             "byte-identical for any value; default 1)")
+def _flags(parser):
     parser.add_argument("--out-dir", default=RESULTS_DIR,
                         help="artifact directory (default benchmarks/results)")
-    parser.add_argument("--sanitize", default=None, metavar="NAMES",
-                        help="run every point with these runtime sanitizers "
-                             "installed (comma-separated names or 'all'; "
-                             "see repro.analysis.sanitize)")
-    args = parser.parse_args(argv)
 
+
+def run(args):
     if args.sanitize:
         from repro.analysis.sanitize import resolve_sanitizers
 
@@ -274,15 +262,16 @@ def main(argv=None):
     print_table("X-faults: goodput and latency under injected loss",
                 HEADER, rows)
 
-    if args.emit_metrics:
+    if args.emit_metrics or args.json:
         document = {
             "benchmark": "faults",
             "schema": "startv.metrics",
             "schema_version": 1,
             "points": points,
         }
-        path = emit_json(os.path.join(args.out_dir, "faults_metrics.json"),
-                         document)
+        path = emit_json(
+            args.json or os.path.join(args.out_dir, "faults_metrics.json"),
+            document)
         print(f"metrics: {path}")
 
     undelivered = [p for p in points
@@ -298,6 +287,20 @@ def main(argv=None):
                                 for p in lossy_unreliable):
         print("note: unreliable rows lost nothing this seed", file=sys.stderr)
     return 0
+
+
+BENCH = {
+    "summary": "Goodput and latency under injected loss, plain vs reliable",
+    "flags": _flags,
+    "run": run,
+}
+
+
+def main(argv=None):
+    from repro.bench.cli import main as bench_main
+
+    return bench_main(
+        ["faults", *(sys.argv[1:] if argv is None else list(argv))])
 
 
 if __name__ == "__main__":

@@ -95,34 +95,23 @@ def _traced_transfer(approach, size, path):
     return path
 
 
-def main(argv=None):
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--emit-metrics", action="store_true",
-                        help="write the sweep + per-point metrics snapshots "
-                             "to benchmarks/results/fig3_metrics.json")
-    parser.add_argument("--trace", action="store_true",
-                        help="write a Perfetto trace of one transfer to "
-                             "benchmarks/results/fig3_trace.json")
+def _flags(parser):
     parser.add_argument("--approach", type=int, default=3, choices=(1, 2, 3),
                         help="approach for --trace (default 3)")
     parser.add_argument("--size", type=int, default=4096,
                         help="transfer size for --trace (default 4096)")
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the sweep (output is "
-                             "byte-identical for any value; default 1)")
     parser.add_argument("--out-dir", default=RESULTS_DIR,
                         help="artifact directory (default benchmarks/results)")
-    args = parser.parse_args(argv)
 
+
+def run(args):
     points = block_transfer_metrics_sweep((1, 2, 3), FIG_SIZES,
                                           jobs=args.jobs)
     rows = [[f"A{p['approach']}", p["size_bytes"],
              p["notify_latency_ns"] / 1000.0, p["verified"]] for p in points]
     print_table("Figure 3: block transfer latency (us)", HEADER, rows)
 
-    if args.emit_metrics:
+    if args.emit_metrics or args.json:
         document = {
             "benchmark": "fig3_latency",
             "schema": "startv.metrics",
@@ -130,7 +119,8 @@ def main(argv=None):
             "points": points,
         }
         path = write_metrics(
-            os.path.join(args.out_dir, "fig3_metrics.json"), document)
+            args.json or os.path.join(args.out_dir, "fig3_metrics.json"),
+            document)
         print(f"metrics: {path}")
 
     if args.trace:
@@ -140,5 +130,19 @@ def main(argv=None):
         print(f"trace:   {path}")
 
 
+BENCH = {
+    "summary": "Figure 3: block-transfer latency sweep, approaches 1-3",
+    "flags": _flags,
+    "run": run,
+}
+
+
+def main(argv=None):
+    from repro.bench.cli import main as bench_main
+
+    return bench_main(
+        ["fig3_latency", *(sys.argv[1:] if argv is None else list(argv))])
+
+
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -15,9 +15,9 @@ the raw network flight time of the same packet.
 
 from benchmarks.conftest import record
 from repro.bench import express_oneway_latency, fresh_machine
-from repro.firmware.reflective import install_reflective
+from repro.firmware.reflective import install_reflective  # repro: allow ARCH002 -- compares firmware layers below the public API
 from repro.mp.express import ExpressPort
-from repro.niu.niu import EXPRESS_RX_LOGICAL, vdst_for
+from repro.mp import EXPRESS_RX_LOGICAL, vdst_for
 
 HEADER = ["path", "metric", "ns"]
 

@@ -19,7 +19,7 @@ from repro.bench import (
     mpi_pingpong_latency,
 )
 from repro.mp.basic import BasicPort
-from repro.niu.niu import vdst_for
+from repro.mp import vdst_for
 
 HEADER = ["mechanism", "metric", "value"]
 

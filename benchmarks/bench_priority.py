@@ -12,7 +12,7 @@ makes it drain strictly first whenever both hold messages.
 from benchmarks.conftest import record
 from repro.bench import fresh_machine
 from repro.mp.basic import BasicPort
-from repro.niu.niu import vdst_for
+from repro.mp import vdst_for
 
 HEADER = ["configuration", "queue", "drain_order_share"]
 COUNT = 24
@@ -27,7 +27,7 @@ def _race(priorities):
     a backlog and the arbitration policy — not the compose rate — decides
     who goes first.
     """
-    from repro.niu.msgformat import MsgHeader, encode_header
+    from repro.niu.msgformat import MsgHeader, encode_header  # repro: allow ARCH002 -- crafts raw headers to exercise priority bits
 
     machine = fresh_machine(2)
     ctrl0 = machine.node(0).ctrl

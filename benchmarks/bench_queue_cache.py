@@ -13,10 +13,10 @@ mixed traffic degrades only the non-resident share.
 
 from benchmarks.conftest import record
 from repro.bench import fresh_machine
-from repro.firmware.msg import declare_dram_queue
+from repro.firmware.msg import declare_dram_queue  # repro: allow ARCH002 -- measures firmware queue handling below the API
 from repro.mp.basic import BasicPort
 from repro.mp.dramq import DramQueueReader
-from repro.niu.niu import vdst_for
+from repro.mp import vdst_for
 
 HEADER = ["queue kind", "msgs", "ns_per_msg"]
 COUNT = 40

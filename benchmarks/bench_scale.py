@@ -1,0 +1,154 @@
+"""Experiment SCALE — weak-scaling curve of the sharded engine.
+
+Runs one workload on one machine size at several shard counts and
+records, per shard count:
+
+* **determinism** — the merged wall-stripped ``metrics()`` snapshot must
+  be byte-identical to the ``shards=1`` baseline (hard failure if not);
+* **parallelism** — ``total_events / busiest_shard_events``, the ideal
+  speedup ceiling the partition's load balance allows.  This is what a
+  parallel host achieves when every shard worker gets its own core, and
+  it is the gate CI enforces (the container running this suite is
+  single-core, so raw wall clock cannot show parallel speedup — wall
+  numbers are recorded anyway, honestly labeled with the host core
+  count);
+* **wall seconds** and **window count** — the measured cost of the run
+  and of the conservative barrier protocol.
+
+The document lands in ``BENCH_scale.json`` at the repo root::
+
+    python -m repro.bench scale                      # 128 nodes, k=1/2/4
+    python -m repro.bench scale --nodes 512
+    python benchmarks/bench_scale.py --shards 4      # k=1/4 only
+"""
+
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _p in (_ROOT, os.path.join(_ROOT, "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+from repro.bench import comparable, emit_json, print_table
+from repro.shard import run_scenario, scenario, scenario_names
+
+DEFAULT_OUT = os.path.join(_ROOT, "BENCH_scale.json")
+DEFAULT_AXIS = (1, 2, 4)
+HEADER = ["shards", "windows", "events", "parallelism", "wall_s",
+          "identical"]
+
+
+def scale_point(scn_name, n_nodes, shards, seed=0, backend="inline",
+                rounds=2):
+    """One (workload, shard count) measurement."""
+    kwargs = {"rounds": rounds} if scn_name in ("mixed", "chaos") else {}
+    t0 = time.monotonic()
+    run = run_scenario(scenario(scn_name, **kwargs), n_nodes=n_nodes,
+                       shards=shards, seed=seed, backend=backend)
+    wall = time.monotonic() - t0
+    return {
+        "scenario": scn_name,
+        "n_nodes": n_nodes,
+        "shards": shards,
+        "backend": backend,
+        "windows": run.windows,
+        "events": sum(run.shard_events),
+        "shard_events": run.shard_events,
+        "parallelism": run.parallelism,
+        "wall_seconds": wall,
+        "snapshot": run.snapshot,
+    }
+
+
+def scale_sweep(scn_name="mixed", n_nodes=128, axis=DEFAULT_AXIS, seed=0,
+                backend="inline", rounds=2):
+    """The weak-scaling sweep plus the determinism verdict per point."""
+    points = [scale_point(scn_name, n_nodes, k, seed=seed, backend=backend,
+                          rounds=rounds) for k in axis]
+    baseline = comparable(points[0]["snapshot"])
+    for p in points:
+        p["identical_to_baseline"] = comparable(p["snapshot"]) == baseline
+    return points
+
+
+def _flags(parser):
+    parser.add_argument("--nodes", type=int, default=128,
+                        help="machine size (default 128; the paper-scale "
+                             "curve uses 512)")
+    parser.add_argument("--scenario", default="mixed",
+                        choices=scenario_names(),
+                        help="workload to scale (default mixed)")
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="messaging rounds per rank (default 2)")
+    parser.add_argument("--backend", default="inline",
+                        choices=("inline", "process"),
+                        help="shard execution backend (default inline)")
+    parser.add_argument("--min-parallelism", type=float, default=1.3,
+                        help="fail if the largest shard count's "
+                             "parallelism falls below this (default 1.3)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default BENCH_scale.json "
+                             "at the repo root)")
+
+
+def run(args):
+    axis = DEFAULT_AXIS if args.shards <= 1 else (1, args.shards)
+    points = scale_sweep(args.scenario, args.nodes, axis, seed=args.seed,
+                         backend=args.backend, rounds=args.rounds)
+
+    rows = [[p["shards"], p["windows"], p["events"],
+             f"{p['parallelism']:.2f}", f"{p['wall_seconds']:.2f}",
+             p["identical_to_baseline"]] for p in points]
+    print_table(
+        f"weak scaling: {args.scenario} @ {args.nodes} nodes "
+        f"({args.backend})", HEADER, rows)
+
+    top = points[-1]
+    document = {
+        "benchmark": "scale",
+        "schema": "startv.metrics",
+        "schema_version": 1,
+        "host_cpus": os.cpu_count(),
+        "wall_note": "wall_seconds are measured on this host; parallel "
+                     "wall speedup requires >= shards cores, parallelism "
+                     "is the load-balance ceiling a parallel host reaches",
+        "points": [{k: v for k, v in p.items() if k != "snapshot"}
+                   for p in points],
+        "deterministic": all(p["identical_to_baseline"] for p in points),
+        "max_shards_parallelism": top["parallelism"],
+    }
+    path = emit_json(args.json or args.out, document)
+    print(f"results: {path}")
+
+    failed = False
+    if not document["deterministic"]:
+        bad = [p["shards"] for p in points if not p["identical_to_baseline"]]
+        print(f"FAIL: metrics diverge from shards=1 at shards={bad}",
+              file=sys.stderr)
+        failed = True
+    if top["parallelism"] < args.min_parallelism:
+        print(f"FAIL: parallelism {top['parallelism']:.2f} at "
+              f"shards={top['shards']} below {args.min_parallelism}",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+BENCH = {
+    "summary": "Weak scaling of the sharded parallel-in-time engine",
+    "flags": _flags,
+    "run": run,
+}
+
+
+def main(argv=None):
+    from repro.bench.cli import main as bench_main
+
+    return bench_main(
+        ["scale", *(sys.argv[1:] if argv is None else list(argv))])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -209,30 +209,18 @@ def check_switch_wins(points, floor=256):
     return bad
 
 
-def main(argv=None):
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+def _flags(parser):
     parser.add_argument("--nodes", type=int, nargs="+", default=None,
                         metavar="N",
                         help="machine sizes to sweep (default: 64 256 1024)")
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the sweep (output is "
-                             "byte-identical for any value; default 1)")
-    parser.add_argument("--emit-metrics", action="store_true",
-                        help="write per-point metrics snapshots to "
-                             "benchmarks/results/sync_metrics.json")
     parser.add_argument("--out-dir", default=RESULTS_DIR,
                         help="artifact directory (default benchmarks/results)")
     parser.add_argument("--summary", default=SUMMARY_PATH,
                         help="summary artifact path (default BENCH_sync.json "
                              "at the repo root)")
-    parser.add_argument("--sanitize", default=None, metavar="NAMES",
-                        help="run every point with these runtime sanitizers "
-                             "installed (comma-separated names or 'all'; "
-                             "see repro.analysis.sanitize)")
-    args = parser.parse_args(argv)
 
+
+def run(args):
     if args.sanitize:
         from repro.analysis.sanitize import resolve_sanitizers
 
@@ -269,7 +257,7 @@ def main(argv=None):
         "points": [{k: v for k, v in p.items() if k != "metrics"}
                    for p in points],
     }
-    path = emit_json(args.summary, summary)
+    path = emit_json(args.json or args.summary, summary)
     print(f"summary: {path}")
 
     if args.emit_metrics:
@@ -281,6 +269,20 @@ def main(argv=None):
     for v in violations:
         print(f"FAIL: {v}", file=sys.stderr)
     return 1 if violations else 0
+
+
+BENCH = {
+    "summary": "Scalable synchronization: barriers and hot spots at scale",
+    "flags": _flags,
+    "run": run,
+}
+
+
+def main(argv=None):
+    from repro.bench.cli import main as bench_main
+
+    return bench_main(
+        ["sync", *(sys.argv[1:] if argv is None else list(argv))])
 
 
 if __name__ == "__main__":

@@ -17,7 +17,7 @@ Run:  python examples/custom_mechanism.py
 """
 
 import repro
-from repro.firmware.reflective import install_reflective
+from repro.firmware.reflective import install_reflective  # repro: allow ARCH002 -- the example's whole point is custom firmware
 from repro.lib.channels import TokenChannel
 
 NODES = 3

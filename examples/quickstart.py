@@ -9,8 +9,7 @@ Run:  python examples/quickstart.py
 """
 
 import repro
-from repro.mp import BasicPort, ExpressPort
-from repro.niu.niu import EXPRESS_RX_LOGICAL, vdst_for
+from repro.mp import EXPRESS_RX_LOGICAL, BasicPort, ExpressPort, vdst_for
 
 
 def main() -> None:

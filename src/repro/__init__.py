@@ -18,10 +18,11 @@ snapshot with p50/p90/p99 latencies) and ``machine.obs`` (span tracing,
 Perfetto export, queue-depth sampling) — see :mod:`repro.obs`.
 """
 
+from repro.analysis import SANITIZER_NAMES, resolve_sanitizers
 from repro.common.config import MachineConfig, ReliabilityConfig, default_config
 from repro.core.inspect import describe_machine
 from repro.core.machine import StarTVoyager
-from repro.faults import FaultPlan
+from repro.faults import FaultPlan, LinkEvent, LinkFault, NodeCrash, SpStall
 from repro.lib.mpi import MiniMPI
 from repro.obs import (
     Histogram,
@@ -30,8 +31,22 @@ from repro.obs import (
     metrics_snapshot,
     write_metrics,
 )
+from repro.shard import ShardRun, run_scenario, scenario, scenario_names
+from repro.sync import (
+    Barrier,
+    Counter,
+    McsLock,
+    SyncFabric,
+    SyncGroup,
+    TasLock,
+    TicketLock,
+    WorkDeque,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
+
+#: ``run_scenario`` under its front-door name: ``repro.run(...)``.
+run = run_scenario
 
 __all__ = [
     # machine construction
@@ -39,10 +54,32 @@ __all__ = [
     "MachineConfig",
     "ReliabilityConfig",
     "default_config",
+    # sharded parallel-in-time execution (the run front door)
+    "run",
+    "run_scenario",
+    "scenario",
+    "scenario_names",
+    "ShardRun",
     # fault injection
     "FaultPlan",
+    "LinkEvent",
+    "LinkFault",
+    "NodeCrash",
+    "SpStall",
     # programming layers
     "MiniMPI",
+    # synchronization primitives
+    "SyncFabric",
+    "SyncGroup",
+    "Barrier",
+    "Counter",
+    "TasLock",
+    "TicketLock",
+    "McsLock",
+    "WorkDeque",
+    # runtime sanitizers
+    "SANITIZER_NAMES",
+    "resolve_sanitizers",
     # measurement / observability
     "Observability",
     "Histogram",

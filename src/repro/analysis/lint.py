@@ -19,6 +19,10 @@ DET004   ``id()``-derived ordering or dict keys (address-dependent,
 ARCH001  layering violation: ``sim/`` imports only ``sim``/``common``;
          ``net/`` never imports ``niu``/``firmware``; ``mem/`` never
          imports ``mp``/``shm``
+ARCH002  ``examples/``/``benchmarks/`` import of a repro internal —
+         user-facing code sticks to the curated public surface
+         (``repro``, ``repro.bench``, the programming layers); a
+         deliberate internals poke needs a justifying suppression
 PERF001  class registered as hot-path (engine events, packets, queue
          state...) missing ``__slots__``
 ======== ==============================================================
@@ -47,6 +51,7 @@ RULES: Dict[str, str] = {
     "DET003": "iteration over a set/frozenset (nondeterministic order)",
     "DET004": "id()-derived ordering or dict key",
     "ARCH001": "import violates the layering rules",
+    "ARCH002": "examples/benchmarks must import the public surface only",
     "PERF001": "hot-path class must declare __slots__",
 }
 
@@ -85,6 +90,21 @@ _LAYER_RULES: Dict[str, Tuple[str, Set[str]]] = {
     "net": ("deny", {"niu", "firmware"}),
     "mem": ("deny", {"mp", "shm"}),
 }
+
+#: the curated public surface (ARCH002): what user-facing code —
+#: ``examples/`` and ``benchmarks/`` — may import.  Prefixes bless a
+#: whole subtree (the programming layers); exact entries bless a single
+#: module.  Everything else (``sim``, ``net``, ``niu``, ``firmware``,
+#: ``mem``, machine internals) is simulator guts: an example that needs
+#: one documents why with ``# repro: allow ARCH002 -- reason``.
+_PUBLIC_PREFIXES: Tuple[str, ...] = (
+    "repro.analysis", "repro.bench", "repro.common", "repro.faults",
+    "repro.lib", "repro.mp", "repro.obs", "repro.shard", "repro.shm",
+    "repro.sync",
+)
+_PUBLIC_EXACT: Tuple[str, ...] = (
+    "repro", "repro.core.blocktransfer", "repro.core.inspect",
+)
 
 #: hot-path class registry (PERF001): repro-relative module -> classes
 #: that are allocated or touched on the simulator's inner loops.
@@ -537,6 +557,40 @@ def _check_layering(tree: ast.AST, path: str,
 
 
 # ----------------------------------------------------------------------
+# ARCH002 — examples/benchmarks stay on the public surface
+# ----------------------------------------------------------------------
+
+
+def _is_public_module(target: str) -> bool:
+    if target in _PUBLIC_EXACT:
+        return True
+    return any(target == p or target.startswith(p + ".")
+               for p in _PUBLIC_PREFIXES)
+
+
+def _check_public_surface(tree: ast.AST, path: str) -> List[Violation]:
+    out: List[Violation] = []
+
+    def check(target: str, node: ast.AST) -> None:
+        if target.split(".")[0] != "repro":
+            return
+        if not _is_public_module(target):
+            out.append(Violation(
+                "ARCH002", path, node.lineno, node.col_offset,
+                f"{target} is a simulator internal, not public surface; "
+                "use the curated API or justify with a suppression",
+            ))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                check(alias.name, node)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            check(node.module, node)
+    return out
+
+
+# ----------------------------------------------------------------------
 # PERF001 — hot classes need __slots__
 # ----------------------------------------------------------------------
 
@@ -588,6 +642,8 @@ def check_source(source: str, relpath: str) -> List[Violation]:
         violations += _check_wall_clock(tree, relpath)
     if in_repro or module_parts[0:1] in (("benchmarks",), ("examples",)):
         violations += _check_global_random(tree, relpath)
+    if module_parts[0:1] in (("benchmarks",), ("examples",)):
+        violations += _check_public_surface(tree, relpath)
     if in_repro:
         violations += _check_set_iteration(tree, relpath)
         violations += _check_layering(tree, relpath, module_parts)

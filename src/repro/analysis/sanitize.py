@@ -184,6 +184,11 @@ class CreditSanitizer:
         if network is None:
             return
         for link in network.links:
+            # a link cut at a shard boundary splits credits (tx shard)
+            # from buffers (rx shard); the conservation lane needs both
+            # sides, so half-links are not tapped.
+            if getattr(link, "is_cut_half", False):
+                continue
             self._tap_link(link)
 
     def _tap_link(self, link: "Link") -> None:

@@ -26,11 +26,11 @@ facade at :attr:`obs`.
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Callable, Generator, List, Optional, Union
 
 from repro.analysis.sanitize import resolve_sanitizers
 from repro.common.config import MachineConfig, default_config
+from repro.common.errors import ConfigError
 from repro.net.packet import PRIORITY_HIGH, PRIORITY_LOW
 from repro.net.network import ArcticNetwork
 from repro.niu.niu import (
@@ -60,12 +60,24 @@ class StarTVoyager:
     def __init__(
         self,
         config: Optional[Union[MachineConfig, int]] = None,
+        shard_view=None,
     ) -> None:
         if config is None:
             config = default_config()
         elif isinstance(config, int):
             config = default_config(n_nodes=config)
         config.validate()
+        if config.shards > 1 and shard_view is None:
+            raise ConfigError(
+                f"config asks for {config.shards} shards; construct the "
+                "machine through repro.shard.ShardedMachine (or run a "
+                "scenario via repro.shard.run_scenario), which builds one "
+                "StarTVoyager sub-machine per shard"
+            )
+        #: in a sharded build, the :class:`repro.shard.boundary.ShardView`
+        #: restricting this sub-machine to its shard's nodes and switches;
+        #: ``None`` for a whole machine.
+        self.shard_view = shard_view
         self.config = config
         self.engine = Engine()
         self.stats = StatsRegistry(self.engine)
@@ -76,22 +88,31 @@ class StarTVoyager:
             self.network = ArcticNetwork(
                 self.engine, config.network, config.n_nodes,
                 seed=config.seed, stats=self.stats, tracer=self.tracer,
+                shard_view=shard_view,
             )
-        self.nodes: List[NodeBoard] = [
+        owns = (lambda i: True) if shard_view is None else shard_view.owns_node
+        # indexed by global node id; remote nodes of a sharded build are
+        # None — every local loop below must skip them.
+        self.nodes: List[Optional[NodeBoard]] = [
             NodeBoard(
                 self.engine, config, i,
                 self.network.port(i) if self.network else None,
-                self.stats, self.tracer,
+                # one stats scope per node: float-accumulator partials
+                # merge canonically, making metrics shard-count-invariant
+                self.stats.scoped(f"n{i}"), self.tracer,
             )
+            if owns(i) else None
             for i in range(config.n_nodes)
         ]
         self._install_translation()
         if config.install_firmware:
             for node in self.nodes:
-                install_default_firmware(node, config.n_nodes,
-                                         config.scoma_home_of)
+                if node is not None:
+                    install_default_firmware(node, config.n_nodes,
+                                             config.scoma_home_of)
         for node in self.nodes:
-            node.start()
+            if node is not None:
+                node.start()
         #: fault injector, armed when the config carries a fault plan
         #: (``config.faults``); None on a healthy machine.
         self.fault_injector = None
@@ -128,10 +149,14 @@ class StarTVoyager:
         :func:`repro.niu.niu.needs_raw_addressing`)."""
         if self.config.n_nodes > 16:
             for node in self.nodes:
+                if node is None:
+                    continue
                 for q in node.ctrl.tx_queues:
                     q.allow_raw = True
             return
         for node in self.nodes:
+            if node is None:
+                continue
             for dst in range(self.config.n_nodes):
                 for queue in range(16):
                     priority = (
@@ -199,28 +224,3 @@ class StarTVoyager:
         :mod:`repro.obs.snapshot` for the exact schema.
         """
         return self.obs.snapshot(include_config=include_config)
-
-    def occupancies(self, node: int, window_ns: Optional[float] = None) -> dict:
-        """Deprecated: read ``metrics()["occupancy"]`` instead."""
-        warnings.warn(
-            "StarTVoyager.occupancies() is deprecated; use "
-            "machine.metrics()['occupancy'] (or the node busy trackers "
-            "directly for explicit windows)",
-            DeprecationWarning, stacklevel=2,
-        )
-        board = self.nodes[node]
-        return {
-            "ap": board.ap.busy.occupancy(window_ns),
-            "sp": board.sp.busy.occupancy(window_ns),
-        }
-
-    def report(self) -> dict:
-        """Deprecated: use :meth:`metrics` (or ``machine.stats.report()``
-        for the legacy flat view)."""
-        warnings.warn(
-            "StarTVoyager.report() is deprecated; use machine.metrics() "
-            "for the schema-versioned snapshot or machine.stats.report() "
-            "for the flat legacy view",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self.stats.report()

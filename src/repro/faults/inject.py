@@ -110,20 +110,39 @@ class FaultInjector:
     # -- arming ------------------------------------------------------------
 
     def arm(self) -> None:
-        """Attach link fault states and schedule every timed fault."""
+        """Attach link fault states and schedule every timed fault.
+
+        Sharded machines arm the same plan on every shard; each timed
+        action is scheduled as an engine event only on the shard that
+        canonically owns it (a link's transmitter side, a node's board),
+        while the routing-visible down/up timeline — statically known
+        from the plan — is installed on every shard's network via
+        :meth:`ArcticNetwork.schedule_downs`.  Event counts and timings
+        therefore sum across shards to exactly the single-queue run.
+        """
         if self._armed:
             return
         self._armed = True
         self._arm_links()
+        self._arm_crashes()
         self._arm_link_events()
         self._arm_stalls()
-        self._arm_crashes()
+        self._install_downs_timeline()
+
+    def _owns_link(self, name: str) -> bool:
+        """True when this machine holds the link's transmitter side (the
+        side that makes fault decisions and owns its counters)."""
+        net = self.machine.network
+        link = net._links_by_name.get(name) if net is not None else None
+        return link is not None and hasattr(link, "send")
 
     def _arm_links(self) -> None:
         net = self.machine.network
         if net is None or not self.plan.link_faults:
             return
         for link in net.links:
+            if not hasattr(link, "send"):
+                continue  # rx half of a cut link: fate runs on the tx side
             for lf in self.plan.link_faults:
                 if fnmatch(link.name, lf.pattern):
                     # first matching entry wins (specific before general)
@@ -131,27 +150,53 @@ class FaultInjector:
                                     corrupt_p=lf.corrupt_p)
                     break
 
+    def _timed_flips(self) -> List[Tuple[float, str, bool]]:
+        """Every statically known ``(time, link name, up)`` flip: plan
+        link events plus the attachment drops implied by node crashes —
+        matched against the whole fabric's name universe, so every shard
+        derives the identical timeline."""
+        net = self.machine.network
+        if net is None:
+            return []
+        flips: List[Tuple[float, str, bool]] = []
+        universe = net.all_link_names()
+        for ev in self.plan.link_events:
+            for name in universe:
+                if fnmatch(name, ev.link):
+                    flips.append((ev.time_ns, name, ev.up))
+        for cr in self.plan.node_crashes:
+            for name in net.node_link_names(cr.node):
+                flips.append((cr.time_ns, name, False))
+        return flips
+
     def _arm_link_events(self) -> None:
+        engine = self.machine.engine
+        for time_ns, name, up in self._timed_flips():
+            if self._owns_link(name):
+                engine._schedule_call(
+                    lambda n=name, u=up: self.set_link(n, up=u),
+                    delay=time_ns,
+                )
+
+    def _install_downs_timeline(self) -> None:
         net = self.machine.network
         if net is None:
             return
-        engine = self.machine.engine
-        for ev in self.plan.link_events:
-            names = [lk.name for lk in net.links if fnmatch(lk.name, ev.link)]
-            for name in names:
-                engine._schedule_call(
-                    lambda n=name, up=ev.up: self.set_link(n, up=up),
-                    delay=ev.time_ns,
-                )
+        flips = self._timed_flips()
+        if flips:
+            net.schedule_downs(flips)
 
     def _arm_stalls(self) -> None:
         if not self.plan.sp_stalls:
             return
         engine = self.machine.engine
         for node in self.machine.nodes:
-            node.sp.register("fault.stall", _stall_handler)
+            if node is not None:
+                node.sp.register("fault.stall", _stall_handler)
         for st in self.plan.sp_stalls:
             board = self.machine.nodes[st.node]
+            if board is None:
+                continue
             engine._schedule_call(
                 lambda b=board, d=st.duration_ns:
                     b.niu.sbiu.post_event(("fault.stall", d)),
@@ -161,7 +206,9 @@ class FaultInjector:
     def _arm_crashes(self) -> None:
         engine = self.machine.engine
         for cr in self.plan.node_crashes:
-            engine._schedule_call(lambda n=cr.node: self.crash(n),
+            if self.machine.nodes[cr.node] is None:
+                continue  # another shard owns the board
+            engine._schedule_call(lambda n=cr.node: self._crash_board(n),
                                   delay=cr.time_ns)
 
     def _state_for(self, link: "Link", drop_p: float = 0.0,
@@ -199,7 +246,19 @@ class FaultInjector:
     def crash(self, node_id: int) -> None:
         """Fail one node silently: aP programs die, sP halts, CTRL goes
         deaf, and both attachment links drop.  Nothing is cleaned up —
-        exactly the failure the reliability protocol must tolerate."""
+        exactly the failure the reliability protocol must tolerate.
+
+        This is the direct (test-facing) entry point; plan-driven crashes
+        arrive as a :meth:`_crash_board` event plus separately scheduled
+        attachment-link flips, so that in a sharded machine each piece
+        runs on the shard that owns it."""
+        self._crash_board(node_id)
+        net = self.machine.network
+        if net is not None:
+            for name in net.node_link_names(node_id):
+                self.set_link(name, up=False)
+
+    def _crash_board(self, node_id: int) -> None:
         if node_id in self.crashed_nodes:
             return
         self.crashed_nodes.add(node_id)
@@ -212,10 +271,6 @@ class FaultInjector:
                 # the kill is not reported as an unhandled process crash
                 proc.add_callback(_absorb)
                 proc.interrupt("node crash")
-        net = self.machine.network
-        if net is not None:
-            for name in net.node_link_names(node_id):
-                self.set_link(name, up=False)
         self.machine.stats.counter("faults.node_crashes").incr()
         tr = self.machine.tracer
         if tr is not None and tr.active:

@@ -3,13 +3,17 @@
 Four mechanisms, exactly the paper's §5 set: :class:`BasicPort` (Basic
 and TagOn messages), :class:`ExpressPort`, and the DMA helpers
 (:func:`dma_write`, :class:`DmaNotifier`); plus the reader for
-DRAM-resident overflow queues.
+DRAM-resident overflow queues.  The NIU addressing helpers a sender
+needs to name a destination (:func:`vdst_for`, the Express receive
+queue constant) are re-exported here so user code never imports
+``repro.niu`` directly.
 """
 
 from repro.mp.basic import BasicPort
 from repro.mp.dma import DmaNotifier, dma_write
 from repro.mp.dramq import DramQueueReader
 from repro.mp.express import ExpressPort
+from repro.niu.niu import EXPRESS_RX_LOGICAL, vdst_for
 
 __all__ = [
     "BasicPort",
@@ -17,4 +21,6 @@ __all__ = [
     "DmaNotifier",
     "dma_write",
     "DramQueueReader",
+    "vdst_for",
+    "EXPRESS_RX_LOGICAL",
 ]

@@ -9,16 +9,24 @@ key                   contents
 ====================  =====================================================
 ``schema``            ``"startv.metrics"`` — the format's name
 ``schema_version``    integer, bumped on incompatible layout changes
-``now_ns``            simulated time of the snapshot
+``now_ns``            simulated time of the snapshot (for a sharded run,
+                      the maximum across shard engines)
 ``n_nodes``           machine size
-``sim``               engine health: ``events_executed``, ``pending_events``,
-                      plus ``wall`` — *wall-clock* gauges (``seconds``,
-                      ``events_per_second``) that vary run to run with host
-                      load; determinism comparisons must strip ``sim.wall``
+``shards``            conservative-parallel shard count the machine ran
+                      with (1 = the classic single event queue); the rest
+                      of the snapshot is byte-identical at any value
+``sim``               engine health: ``events_executed``, ``pending_events``
+                      (summed across shards), plus ``wall`` — *wall-clock*
+                      gauges (``seconds``, ``events_per_second``) that vary
+                      run to run with host load; determinism comparisons
+                      must strip ``sim.wall``
 ``counters``          flat name -> int (monotonic event counts)
 ``accumulators``      name -> {n, mean, min, max, total, stddev,
                       p50, p90, p99} (percentiles from the log-bucketed
-                      :class:`~repro.common.histogram.Histogram`)
+                      :class:`~repro.common.histogram.Histogram`).  Values
+                      come from per-scope partials folded in sorted-scope
+                      order (:meth:`StatsRegistry.merged_accumulators`),
+                      which is what makes them shard-count-invariant.
 ``busy_ns``           busy-tracker name -> accumulated busy nanoseconds
 ``occupancy``         node id (str) -> {"ap": fraction, "sp": fraction}
 ``config``            flat machine configuration (``MachineConfig.describe``)
@@ -26,36 +34,47 @@ key                   contents
 
 Extra keys may appear next to these (benchmarks add ``benchmark``/
 ``points``); consumers must ignore keys they do not know.
+
+Version history: v1 had no ``shards`` key and snapshotted accumulators in
+raw insertion order; v2 adds ``shards`` and the canonical scope-merged
+accumulator fold.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import TYPE_CHECKING, Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence
+
+from repro.sim.stats import Accumulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.machine import StarTVoyager
 
 #: current layout version of the snapshot dict below.
 METRICS_SCHEMA = "startv.metrics"
-METRICS_SCHEMA_VERSION = 1
+METRICS_SCHEMA_VERSION = 2
+
+
+def _accumulator_rows(merged: Dict[str, Accumulator]) -> Dict[str, Any]:
+    rows: Dict[str, Any] = {}
+    for name, acc in sorted(merged.items()):
+        row = acc.hist.to_dict()
+        row["stddev"] = acc.stddev
+        rows[name] = row
+    return rows
 
 
 def metrics_snapshot(machine: "StarTVoyager",
                      include_config: bool = True) -> Dict[str, Any]:
     """One machine's complete measurement state as a JSON-ready dict."""
     stats = machine.stats
-    accumulators: Dict[str, Any] = {}
-    for name, acc in sorted(stats._accumulators.items()):
-        row = acc.hist.to_dict()
-        row["stddev"] = acc.stddev
-        accumulators[name] = row
     snapshot: Dict[str, Any] = {
         "schema": METRICS_SCHEMA,
         "schema_version": METRICS_SCHEMA_VERSION,
         "now_ns": machine.now,
         "n_nodes": machine.config.n_nodes,
+        "shards": machine.config.shards,
         "sim": {
             "events_executed": machine.engine.events_executed,
             "pending_events": machine.engine.pending_events,
@@ -67,7 +86,7 @@ def metrics_snapshot(machine: "StarTVoyager",
         },
         "counters": {name: c.value
                      for name, c in sorted(stats._counters.items())},
-        "accumulators": accumulators,
+        "accumulators": _accumulator_rows(stats.merged_accumulators()),
         "busy_ns": {name: b.current()
                     for name, b in sorted(stats._busy.items())},
         "occupancy": {
@@ -75,12 +94,123 @@ def metrics_snapshot(machine: "StarTVoyager",
                 "ap": node.ap.busy.occupancy(),
                 "sp": node.sp.busy.occupancy(),
             }
-            for node in machine.nodes
+            for node in machine.nodes if node is not None
         },
     }
     if include_config:
         snapshot["config"] = machine.config.describe()
     return snapshot
+
+
+def shard_export(machine: "StarTVoyager") -> Dict[str, Any]:
+    """One shard sub-machine's measurement state as a *picklable* dict.
+
+    This is the unit the sharded runner carries out of worker processes:
+    raw counters, busy nanoseconds, per-scope accumulator partials
+    (:class:`Accumulator` objects — pure ``__slots__`` data, they pickle
+    cleanly), and per-node busy totals for occupancy.  Both runner
+    backends merge the same exports via :func:`merge_shard_exports`, so
+    inline and process runs cannot diverge in the merge itself.
+    """
+    stats = machine.stats
+    return {
+        "now": machine.now,
+        "events_executed": machine.engine.events_executed,
+        "pending_events": machine.engine.pending_events,
+        "wall_seconds": machine.engine.wall_seconds,
+        "counters": {name: c.value for name, c in stats._counters.items()},
+        "busy": {name: b.current() for name, b in stats._busy.items()},
+        "partials": {name: dict(scopes)
+                     for name, scopes in stats._accumulators.items()},
+        "node_busy": {
+            str(node.node_id): (node.ap.busy.current(), node.sp.busy.current())
+            for node in machine.nodes if node is not None
+        },
+    }
+
+
+def merge_shard_exports(exports: Sequence[Dict[str, Any]],
+                        config=None) -> Dict[str, Any]:
+    """One snapshot from per-shard exports (see :func:`shard_export`).
+
+    Counters and busy times live under node- or switch-unique names and
+    integer/float-sum exactly; accumulator partials are keyed by scope,
+    each scope lives on exactly one shard, and the canonical sorted-scope
+    fold makes the result byte-identical to the same machine snapshotted
+    unsharded (``sim.wall`` excepted — wall clocks are never
+    deterministic).
+    """
+    if not exports:
+        raise ValueError("merge_shard_exports needs at least one shard")
+    now = max(e["now"] for e in exports)
+    counters: Dict[str, int] = {}
+    busy: Dict[str, float] = {}
+    partials: Dict[str, Dict[str, List[Accumulator]]] = {}
+    occupancy: Dict[str, Dict[str, float]] = {}
+    events = 0
+    pending = 0
+    wall = 0.0
+    for e in exports:
+        events += e["events_executed"]
+        pending += e["pending_events"]
+        wall += e["wall_seconds"]
+        for name, value in e["counters"].items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in e["busy"].items():
+            busy[name] = busy.get(name, 0.0) + value
+        for name, scopes in e["partials"].items():
+            by_scope = partials.setdefault(name, {})
+            for scope, acc in scopes.items():
+                by_scope.setdefault(scope, []).append(acc)
+        for node_id, (ap_ns, sp_ns) in e["node_busy"].items():
+            occupancy[node_id] = {
+                "ap": ap_ns / now if now > 0 else 0.0,
+                "sp": sp_ns / now if now > 0 else 0.0,
+            }
+    merged: Dict[str, Accumulator] = {}
+    for name, by_scope in partials.items():
+        acc = Accumulator(name)
+        for scope in sorted(by_scope):
+            for part in by_scope[scope]:
+                acc.merge(part)
+        merged[name] = acc
+    snapshot: Dict[str, Any] = {
+        "schema": METRICS_SCHEMA,
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "now_ns": now,
+        "n_nodes": config.n_nodes if config is not None else None,
+        "shards": config.shards if config is not None else None,
+        "sim": {
+            "events_executed": events,
+            "pending_events": pending,
+            "wall": {
+                "seconds": wall,
+                "events_per_second": events / wall if wall > 0 else 0.0,
+            },
+        },
+        "counters": dict(sorted(counters.items())),
+        "accumulators": _accumulator_rows(merged),
+        "busy_ns": dict(sorted(busy.items())),
+        "occupancy": dict(sorted(occupancy.items(), key=lambda kv: int(kv[0]))),
+    }
+    if config is not None:
+        snapshot["config"] = config.describe()
+    return snapshot
+
+
+def merged_metrics_snapshot(machines: Sequence["StarTVoyager"],
+                            include_config: bool = True) -> Dict[str, Any]:
+    """One snapshot for a machine simulated as several shard sub-machines
+    (the inline-backend convenience over export-and-merge)."""
+    if not machines:
+        raise ValueError("merged_metrics_snapshot needs at least one shard")
+    config = machines[0].config if include_config else None
+    exports = [shard_export(m) for m in machines]
+    snap = merge_shard_exports(exports, config)
+    if not include_config:
+        snap["n_nodes"] = machines[0].config.n_nodes
+        snap["shards"] = machines[0].config.shards
+    return snap
 
 
 def write_metrics(path: str, snapshot: Dict[str, Any]) -> str:

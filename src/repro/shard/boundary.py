@@ -1,0 +1,106 @@
+"""The shard boundary: locality queries and cross-shard messages.
+
+One :class:`ShardView` is handed to each sub-machine at construction.
+The network build asks it which nodes and switches are local and, for
+every link cut by the boundary, registers the local half and obtains an
+*emitter*.  During a window, emitters append boundary messages to the
+view's outbox; at the barrier the runner drains every outbox, sorts the
+union canonically, and injects each message into the target shard's
+engine at its stamped arrival time.
+
+A boundary message is a plain tuple — already ordered the way the
+runner must inject it::
+
+    (arrival_time_ns, channel_name, channel_seq, kind, payload)
+
+``kind`` is :data:`MSG_PKT` (payload: the :class:`~repro.net.packet.Packet`)
+or :data:`MSG_CREDIT` (payload: the priority lane).  ``channel_seq``
+counts emissions per (channel, kind), so two messages on one channel
+never compare equal — the sort never falls through to comparing
+payloads, and injection order is identical at any shard count and in
+any backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+if False:  # pragma: no cover - import cycle guard (net sits below shard)
+    from repro.net.link import CutLinkRx, CutLinkTx
+    from repro.shard.partition import ShardPlan
+
+#: boundary message kinds, in tie-break order: at one instant on one
+#: channel a returning credit sorts before a fresh delivery (it was
+#: committed a full wire-flight earlier).
+MSG_CREDIT = 0
+MSG_PKT = 1
+
+BoundaryMessage = Tuple[float, str, int, int, Any]
+
+
+class ShardView:
+    """One shard's window onto the partitioned machine."""
+
+    def __init__(self, plan: "ShardPlan", shard: int) -> None:
+        self.plan = plan
+        self.shard = shard
+        self.local_nodes = plan.nodes_of(shard)
+        #: messages emitted by local cut halves during the current window.
+        self.outbox: List[BoundaryMessage] = []
+        #: local rx halves by channel name (packet injection targets).
+        self.rx_halves: Dict[str, "CutLinkRx"] = {}
+        #: local tx halves by channel name (credit injection targets).
+        self.tx_halves: Dict[str, "CutLinkTx"] = {}
+        self._seq: Dict[Tuple[str, int], int] = {}
+
+    # -- locality (queried by the network/machine build) -------------------
+
+    def owns_node(self, node: int) -> bool:
+        return self.plan.node_shard(node) == self.shard
+
+    def owns_switch(self, level: int, index: int) -> bool:
+        return self.plan.switch_shard(level, index) == self.shard
+
+    # -- emitters (handed to cut-link halves at build) ---------------------
+
+    def _next_seq(self, channel: str, kind: int) -> int:
+        key = (channel, kind)
+        n = self._seq.get(key, 0)
+        self._seq[key] = n + 1
+        return n
+
+    def pkt_emitter(self, channel: str):
+        def emit(arrival_time: float, pkt) -> None:
+            self.outbox.append(
+                (arrival_time, channel, self._next_seq(channel, MSG_PKT),
+                 MSG_PKT, pkt))
+        return emit
+
+    def credit_emitter(self, channel: str):
+        def emit(arrival_time: float, priority: int) -> None:
+            self.outbox.append(
+                (arrival_time, channel, self._next_seq(channel, MSG_CREDIT),
+                 MSG_CREDIT, priority))
+        return emit
+
+    def register_tx(self, channel: str, half: "CutLinkTx") -> None:
+        self.tx_halves[channel] = half
+
+    def register_rx(self, channel: str, half: "CutLinkRx") -> None:
+        self.rx_halves[channel] = half
+
+    # -- barrier side (called by the runner) -------------------------------
+
+    def drain_outbox(self) -> List[BoundaryMessage]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    def deliver(self, engine, msg: BoundaryMessage) -> None:
+        """Inject one inbound message into this shard's engine."""
+        time, channel, _seq, kind, payload = msg
+        if kind == MSG_PKT:
+            half = self.rx_halves[channel]
+            engine.inject(time, lambda: half.deliver(payload))
+        else:
+            half = self.tx_halves[channel]
+            engine.inject(time, lambda: half.credit_return(payload))

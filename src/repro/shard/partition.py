@@ -1,0 +1,104 @@
+"""Partitioning a machine's nodes and switches into shards.
+
+A :class:`ShardPlan` assigns every node and every fat-tree switch to one
+of ``K`` shards.  Nodes are split into contiguous blocks aligned to leaf
+switches where possible (an aligned boundary cuts only switch↔switch
+links, which is both fewer channels and deeper traffic); a switch lands
+on the shard of the first leaf node it can reach, so the subtree under a
+leaf block stays with its nodes.
+
+The plan is pure arithmetic over the topology — every shard computes the
+identical plan from the config alone, which is what lets sub-machines be
+built independently (including in separate worker processes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.config import MachineConfig
+from repro.common.errors import ConfigError
+from repro.net.topology import FatTreeTopology
+
+
+class ShardPlan:
+    """Node/switch → shard assignment for one machine configuration."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        n, k = config.n_nodes, config.shards
+        if not (1 <= k <= n):
+            raise ConfigError(f"cannot split {n} nodes into {k} shards")
+        self.n_nodes = n
+        self.shards = k
+        self.topology = FatTreeTopology(
+            n, radix=config.network.radix, seed=config.seed)
+        #: cross-shard lookahead: the one wire latency every cut channel
+        #: pays (packets forward, credits backward), in ns.
+        self.lookahead_ns = config.network.wire_latency_ns
+        self._bounds = self._split(n, k, self.topology.down_degree)
+        self._switch_shard = self._assign_switches()
+
+    @staticmethod
+    def _split(n: int, k: int, d: int) -> List[int]:
+        """Shard boundaries as ``k + 1`` cumulative node counts.
+
+        Prefers blocks rounded up to whole leaf switches (multiples of
+        ``d``); falls back to a plain even split when alignment would
+        leave a shard empty.
+        """
+        aligned = -(-n // k)  # ceil
+        aligned = -(-aligned // d) * d
+        bounds = [min(i * aligned, n) for i in range(k + 1)]
+        bounds[-1] = n
+        if all(bounds[i] < bounds[i + 1] for i in range(k)):
+            return bounds
+        plain = -(-n // k)
+        bounds = [min(i * plain, n) for i in range(k + 1)]
+        bounds[-1] = n
+        return bounds
+
+    def _assign_switches(self) -> Dict[Tuple[int, int], int]:
+        """Each switch goes to the shard of the smallest node it covers."""
+        topo = self.topology
+        d = topo.down_degree
+        first_node: Dict[Tuple[int, int], int] = {}
+        for index in range(topo.switches_per_level):
+            first_node[(1, index)] = min(index * d, self.n_nodes - 1)
+        for level in range(1, topo.levels):
+            for index in range(topo.switches_per_level):
+                child_first = first_node[(level, index)]
+                for b in range(d):
+                    parent = topo.up_target(level, index, b)
+                    prev = first_node.get(parent)
+                    if prev is None or child_first < prev:
+                        first_node[parent] = child_first
+        return {sw: self.node_shard(node) for sw, node in first_node.items()}
+
+    # -- queries -----------------------------------------------------------
+
+    def node_shard(self, node: int) -> int:
+        """The shard owning ``node``."""
+        if not (0 <= node < self.n_nodes):
+            raise ConfigError(f"node {node} does not exist")
+        for shard in range(self.shards):
+            if node < self._bounds[shard + 1]:
+                return shard
+        raise AssertionError("unreachable")
+
+    def switch_shard(self, level: int, index: int) -> int:
+        """The shard owning switch ``(level, index)``."""
+        return self._switch_shard[(level, index)]
+
+    def nodes_of(self, shard: int) -> range:
+        """The contiguous node block owned by ``shard``."""
+        return range(self._bounds[shard], self._bounds[shard + 1])
+
+    def describe(self) -> Dict[str, object]:
+        """Plan summary for logs and benchmark documents."""
+        return {
+            "n_nodes": self.n_nodes,
+            "shards": self.shards,
+            "blocks": [[self._bounds[i], self._bounds[i + 1]]
+                       for i in range(self.shards)],
+            "lookahead_ns": self.lookahead_ns,
+        }

@@ -1,0 +1,274 @@
+"""Shard-aware workload scenarios.
+
+A whole-machine workload cannot be a plain script once the machine is
+sharded: each shard only holds its own node boards, so the workload must
+be expressed as *per-shard setup* — "spawn the programs whose home node
+you own".  A :class:`ShardScenario` packages that: the runner calls
+:meth:`~ShardScenario.setup` once per shard per phase (with the shard's
+local node range) and :meth:`~ShardScenario.result` after the global
+drain.
+
+Every scenario here is written against the wide-safe MiniMPI
+point-to-point layer, so the same workload runs on 2 nodes or 512.  The
+registry holds the workloads the shard parity tests and the scaling
+benchmark share:
+
+``fig3``   ping-pong latency ladder between the first and last node
+           (the paper's Figure-3 shape; crosses every shard boundary).
+``mixed``  all-to-all staggered messaging — the mixed-workload
+           determinism pattern from ``tests/test_determinism.py``.
+``sync``   software-tree barrier + allreduce on every rank.
+``chaos``  ``mixed`` under a fault plan that downs a leaf uplink —
+           a link that *is* a shard boundary at ``shards >= 2`` — then
+           repairs it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.common.config import MachineConfig
+from repro.common.errors import ConfigError
+
+
+class ShardScenario:
+    """One workload, described shard-locally.
+
+    Subclasses override :meth:`setup` (spawn programs for nodes in
+    ``local_nodes``; stash anything :meth:`result` needs in ``ctx``,
+    which is private to the shard and its phases) and :meth:`result`
+    (return a *picklable* value — it may cross a worker pipe).
+    :meth:`prepare` runs once in the coordinator before any sub-machine
+    is built and may mutate the config (fault plans, queue depths).
+    """
+
+    name = "scenario"
+    #: number of setup/drain rounds; phase ``p`` starts only after phase
+    #: ``p-1`` is globally quiescent and all shard clocks are aligned.
+    phases = 1
+
+    def prepare(self, config: MachineConfig) -> None:
+        """Adjust the machine config before the shards are built."""
+
+    def setup(self, phase: int, machine, local_nodes, ctx: Dict[str, Any]
+              ) -> None:
+        raise NotImplementedError
+
+    def result(self, machine, local_nodes, ctx: Dict[str, Any]) -> Any:
+        return None
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _mpi(self, machine, ctx: Dict[str, Any]):
+        """The shard's MiniMPI factory (software tree: no cluster-wide
+        firmware install, so it builds cleanly on a partial machine)."""
+        if "mpi" not in ctx:
+            from repro.lib.mpi import MiniMPI
+
+            ctx["mpi"] = MiniMPI(machine, algo="tree")
+        return ctx["mpi"]
+
+
+class PingScenario(ShardScenario):
+    """Figure-3 shape: a latency ladder, first node <-> last node."""
+
+    name = "fig3"
+
+    def __init__(self, sizes: Sequence[int] = (4, 64, 512),
+                 pings: int = 3) -> None:
+        self.sizes = tuple(sizes)
+        self.pings = pings
+
+    def setup(self, phase: int, machine, local_nodes, ctx) -> None:
+        n = machine.config.n_nodes
+        if n < 2:
+            raise ConfigError("fig3 ping-pong needs at least 2 nodes")
+        src, dst = 0, n - 1
+        schedule = [s for s in self.sizes for _ in range(self.pings)]
+        if src in local_nodes:
+            src_comm = self._mpi(machine, ctx).rank(src)
+
+            def pinger(api):
+                rtts: List[Tuple[int, float]] = []
+                ok = True
+                for i, size in enumerate(schedule):
+                    payload = bytes((i + j) & 0xFF for j in range(size))
+                    t0 = api.now
+                    yield from src_comm.send(api, dst, payload, tag=1)
+                    _s, _t, back = yield from src_comm.recv(api, src=dst,
+                                                            tag=2)
+                    ok = ok and back == payload
+                    rtts.append((size, api.now - t0))
+                ctx["rtts"] = rtts
+                ctx["echo_ok"] = ok
+
+            machine.spawn(src, pinger)
+        if dst in local_nodes:
+            dst_comm = self._mpi(machine, ctx).rank(dst)
+
+            def echo(api):
+                for _ in range(len(schedule)):
+                    _s, _t, data = yield from dst_comm.recv(api, src=src,
+                                                            tag=1)
+                    yield from dst_comm.send(api, src, data, tag=2)
+
+            machine.spawn(dst, echo)
+
+    def result(self, machine, local_nodes, ctx) -> Dict[str, Any]:
+        return {"rtts": ctx.get("rtts"), "echo_ok": ctx.get("echo_ok")}
+
+
+class MixedScenario(ShardScenario):
+    """Staggered all-to-all messaging (the determinism-suite pattern).
+
+    Rank ``r`` sends ``rounds`` messages to ``(r + 1 + i) % n`` and then
+    drains exactly the deliveries addressed to it, logging each arrival.
+    Traffic between ranks in different node blocks crosses the shard
+    boundary; traffic inside a block stays shard-local — both paths run
+    in the same event history.
+    """
+
+    name = "mixed"
+
+    def __init__(self, rounds: int = 6, payload: int = 16) -> None:
+        self.rounds = rounds
+        self.payload = payload
+
+    def _incoming(self, rank: int, n: int) -> int:
+        return sum(1 for sender in range(n) for i in range(self.rounds)
+                   if (sender + 1 + i) % n == rank and rank != sender)
+
+    def setup(self, phase: int, machine, local_nodes, ctx) -> None:
+        n = machine.config.n_nodes
+        mpi = self._mpi(machine, ctx)
+        log = ctx.setdefault("log", [])
+
+        def worker(api, rank):
+            comm = mpi.rank(rank)
+            for i in range(self.rounds):
+                dst = (rank + 1 + i) % n
+                if dst != rank:
+                    body = bytes([rank & 0xFF, i]) * (self.payload // 2)
+                    yield from comm.send(api, dst, body, tag=3)
+            for _ in range(self._incoming(rank, n)):
+                src, _tag, data = yield from comm.recv(api, tag=3)
+                log.append((api.now, rank, src, bytes(data[:2])))
+
+        for rank in local_nodes:
+            machine.spawn(rank, worker, rank)
+
+    def result(self, machine, local_nodes, ctx) -> List[Tuple]:
+        return ctx.get("log", [])
+
+
+class SyncScenario(ShardScenario):
+    """Every rank: barrier, allreduce(rank + 1), barrier."""
+
+    name = "sync"
+
+    def setup(self, phase: int, machine, local_nodes, ctx) -> None:
+        mpi = self._mpi(machine, ctx)
+        sums = ctx.setdefault("sums", {})
+
+        def worker(api, rank):
+            comm = mpi.rank(rank)
+            yield from comm.barrier(api)
+            total = yield from comm.allreduce(api, rank + 1, op="sum")
+            yield from comm.barrier(api)
+            sums[rank] = total
+
+        for rank in local_nodes:
+            machine.spawn(rank, worker, rank)
+
+    def result(self, machine, local_nodes, ctx) -> Dict[int, Any]:
+        return ctx.get("sums", {})
+
+
+def boundary_link_names(config: MachineConfig, ref_shards: int = 2
+                        ) -> List[str]:
+    """Link names cut by the ``ref_shards``-way partition of ``config``.
+
+    Computed against a *fixed reference* shard count, not the config's
+    own, so callers (the chaos scenario, its parity test) derive the
+    identical link set no matter how many shards actually run.
+    """
+    from dataclasses import replace
+
+    from repro.shard.partition import ShardPlan
+
+    plan = ShardPlan(replace(config, shards=ref_shards))
+    topo = plan.topology
+    cut: List[str] = []
+    for node in range(config.n_nodes):
+        leaf = topo.leaf_switch(node)
+        if plan.node_shard(node) != plan.switch_shard(1, leaf):
+            cut.append(f"n{node}->sw1.{leaf}")
+            cut.append(f"sw1.{leaf}->n{node}")
+    for level in range(1, topo.levels):
+        for index in range(topo.switches_per_level):
+            here = plan.switch_shard(level, index)
+            for b in range(topo.down_degree):
+                p_level, p_index = topo.up_target(level, index, b)
+                if here != plan.switch_shard(p_level, p_index):
+                    cut.append(f"sw{level}.{index}->sw{p_level}.{p_index}")
+                    cut.append(f"sw{p_level}.{p_index}->sw{level}.{index}")
+    return sorted(set(cut))
+
+
+class ChaosScenario(MixedScenario):
+    """The mixed workload with boundary links failing mid-run.
+
+    The plan downs the first two links cut by the reference 2-way
+    partition (see :func:`boundary_link_names`) — at ``shards >= 2``
+    cross-shard traffic must reroute around the failure over the fat
+    tree's path diversity — then repairs them.  The down/up timeline is
+    statically known, so every shard count observes the identical
+    routing history.
+    """
+
+    name = "chaos"
+
+    def __init__(self, down_ns: float = 40_000.0, up_ns: float = 200_000.0,
+                 n_links: int = 2, **kw) -> None:
+        super().__init__(**kw)
+        self.down_ns = down_ns
+        self.up_ns = up_ns
+        self.n_links = n_links
+
+    def prepare(self, config: MachineConfig) -> None:
+        from repro.faults.plan import FaultPlan, LinkEvent
+
+        if config.faults is not None:
+            raise ConfigError("chaos scenario supplies its own fault plan")
+        victims = boundary_link_names(config)[:self.n_links]
+        if not victims:
+            raise ConfigError("no shard-boundary links to fault")
+        events = []
+        for name in victims:
+            events.append(LinkEvent(time_ns=self.down_ns, link=name,
+                                    up=False))
+            events.append(LinkEvent(time_ns=self.up_ns, link=name, up=True))
+        config.faults = FaultPlan(seed=config.seed, link_events=events)
+
+
+_REGISTRY = {
+    PingScenario.name: PingScenario,
+    MixedScenario.name: MixedScenario,
+    SyncScenario.name: SyncScenario,
+    ChaosScenario.name: ChaosScenario,
+}
+
+
+def scenario(name: str, **kwargs: Any) -> ShardScenario:
+    """Instantiate a registered scenario by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)

@@ -73,6 +73,39 @@ class Accumulator:
             self.max = x
         self.hist.add(x)
 
+    def merge(self, other: "Accumulator") -> None:
+        """Fold ``other``'s samples into this accumulator (Chan et al.).
+
+        The sharded metrics pipeline keeps one accumulator partial per
+        *scope* (node, switch) and combines partials in sorted-scope
+        order, so the merged floating-point result is byte-identical for
+        any shard count — unlike interleaved :meth:`add` order, which
+        would differ between one global engine and K shard engines.
+        """
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.total = other.total
+            self.hist.merge(other.hist)
+            return
+        na, nb = self.n, other.n
+        n = na + nb
+        delta = other._mean - self._mean
+        self._mean += delta * nb / n
+        self._m2 += other._m2 + delta * delta * na * nb / n
+        self.n = n
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.hist.merge(other.hist)
+
     @property
     def mean(self) -> float:
         """Sample mean (0.0 when empty)."""
@@ -155,14 +188,52 @@ class BusyTracker:
         return self.current() / window if window > 0 else 0.0
 
 
+class ScopedStats:
+    """A view of a :class:`StatsRegistry` that tags accumulator samples
+    with a *scope* (a node or switch id).
+
+    Counters, busy trackers, and integer histogram buckets merge exactly
+    in any order, so those pass straight through to the shared registry.
+    Accumulator means/variances are floating-point *order dependent*, so
+    each scope keeps its own partial; the registry folds partials in
+    sorted-scope order (see :meth:`StatsRegistry.merged_accumulators`),
+    which makes the merged result independent of event interleaving —
+    and therefore identical at any shard count.
+    """
+
+    __slots__ = ("_registry", "scope")
+
+    def __init__(self, registry: "StatsRegistry", scope: str) -> None:
+        self._registry = registry
+        self.scope = scope
+
+    @property
+    def engine(self) -> "Engine":
+        return self._registry.engine
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(name)
+
+    def accumulator(self, name: str) -> Accumulator:
+        return self._registry.accumulator(name, scope=self.scope)
+
+    def busy_tracker(self, name: str) -> BusyTracker:
+        return self._registry.busy_tracker(name)
+
+    def scoped(self, scope: str) -> "ScopedStats":
+        return self._registry.scoped(scope)
+
+
 class StatsRegistry:
     """Hierarchically named statistics, shared by one machine instance."""
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
         self._counters: Dict[str, Counter] = {}
-        self._accumulators: Dict[str, Accumulator] = {}
+        #: name -> scope -> per-scope partial ("" is the unscoped root).
+        self._accumulators: Dict[str, Dict[str, Accumulator]] = {}
         self._busy: Dict[str, BusyTracker] = {}
+        self._scoped: Dict[str, ScopedStats] = {}
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter ``name``."""
@@ -170,17 +241,40 @@ class StatsRegistry:
             self._counters[name] = Counter(name)
         return self._counters[name]
 
-    def accumulator(self, name: str) -> Accumulator:
-        """Get or create the accumulator ``name``."""
-        if name not in self._accumulators:
-            self._accumulators[name] = Accumulator(name)
-        return self._accumulators[name]
+    def accumulator(self, name: str, scope: str = "") -> Accumulator:
+        """Get or create the accumulator partial for ``name`` in ``scope``."""
+        scopes = self._accumulators.get(name)
+        if scopes is None:
+            scopes = self._accumulators[name] = {}
+        acc = scopes.get(scope)
+        if acc is None:
+            acc = scopes[scope] = Accumulator(name)
+        return acc
 
     def busy_tracker(self, name: str) -> BusyTracker:
         """Get or create the busy tracker ``name``."""
         if name not in self._busy:
             self._busy[name] = BusyTracker(self.engine, name)
         return self._busy[name]
+
+    def scoped(self, scope: str) -> ScopedStats:
+        """A view whose accumulators are kept as per-``scope`` partials."""
+        view = self._scoped.get(scope)
+        if view is None:
+            view = self._scoped[scope] = ScopedStats(self, scope)
+        return view
+
+    def merged_accumulators(self) -> Dict[str, Accumulator]:
+        """Canonical per-name accumulators: scope partials folded in
+        sorted-scope order, so the result does not depend on the order
+        samples were interleaved across scopes (or shards)."""
+        out: Dict[str, Accumulator] = {}
+        for name, scopes in self._accumulators.items():
+            merged = Accumulator(name)
+            for scope in sorted(scopes):
+                merged.merge(scopes[scope])
+            out[name] = merged
+        return out
 
     def report(self) -> Dict[str, float]:
         """Flat snapshot of every statistic, for experiment logs.
@@ -201,7 +295,7 @@ class StatsRegistry:
         out: Dict[str, float] = {}
         for name, c in sorted(self._counters.items()):
             out[f"count.{name}"] = float(c.value)
-        for name, a in sorted(self._accumulators.items()):
+        for name, a in sorted(self.merged_accumulators().items()):
             out[f"n.{name}"] = float(a.n)
             if a.n:
                 out[f"mean.{name}"] = a.mean

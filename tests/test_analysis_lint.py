@@ -219,6 +219,47 @@ def test_arch001_type_checking_imports_exempt():
 
 
 # ----------------------------------------------------------------------
+# ARCH002 — examples/benchmarks stay on the public surface
+# ----------------------------------------------------------------------
+
+BENCHMARK = "benchmarks/bench_demo.py"
+EXAMPLE = "examples/demo.py"
+
+
+def test_arch002_internal_import_fires():
+    assert rules_of("from repro.niu.niu import vdst_for\n", BENCHMARK) \
+        == ["ARCH002"]
+    assert rules_of("import repro.sim.engine\n", EXAMPLE) == ["ARCH002"]
+    assert rules_of("from repro.firmware.msg import MsgFw\n", EXAMPLE) \
+        == ["ARCH002"]
+
+
+def test_arch002_public_surface_allowed():
+    src = """\
+    import repro
+    from repro.bench import fresh_machine
+    from repro.mp import BasicPort, vdst_for
+    from repro.lib.mpi import MiniMPI
+    from repro.shard import run_scenario
+    from repro.core.blocktransfer import BlockTransferEngine
+    """
+    assert rules_of(src, BENCHMARK) == []
+
+
+def test_arch002_only_applies_to_user_facing_dirs():
+    assert rules_of("from repro.niu.niu import vdst_for\n",
+                    "tests/test_demo.py") == []
+    assert rules_of("from repro.niu.queues import QueueState\n",
+                    "src/repro/mp/basic.py") == []
+
+
+def test_arch002_suppressible_with_justification():
+    src = ("from repro.sim.engine import Engine"
+           "  # repro: allow ARCH002 -- raw engine microbenchmark\n")
+    assert rules_of(src, BENCHMARK) == []
+
+
+# ----------------------------------------------------------------------
 # PERF001 — hot classes need __slots__
 # ----------------------------------------------------------------------
 

@@ -181,8 +181,9 @@ def test_metrics_snapshot_schema(m2):
     _pingpong(m2)
     snap = metrics_snapshot(m2)
     assert snap["schema"] == "startv.metrics"
-    assert snap["schema_version"] == 1
+    assert snap["schema_version"] == 2
     assert snap["n_nodes"] == 2
+    assert snap["shards"] == 1
     assert snap["sim"]["events_executed"] > 0
     assert snap["counters"]["ctrl0.msgs_sent"] >= 6
     lat = snap["accumulators"]["net.latency_ns"]
@@ -233,23 +234,24 @@ def test_queue_sampler_counters(m2):
 
 
 # ----------------------------------------------------------------------
-# deprecation shims
+# finished deprecations
 # ----------------------------------------------------------------------
 
-def test_machine_report_deprecated(m2):
-    with pytest.warns(DeprecationWarning):
-        report = m2.report()
-    assert report == m2.stats.report()
+def test_machine_report_removed(m2):
+    # the deprecation cycle is over: metrics() is the snapshot, and the
+    # flat legacy view lives only on the registry itself
+    assert not hasattr(m2, "report")
+    assert isinstance(m2.stats.report(), dict)
 
 
-def test_machine_occupancies_deprecated(m2):
+def test_machine_occupancies_removed(m2):
     def prog(api):
         yield from api.compute(1000)
 
     m2.run_until(m2.spawn(0, prog))
-    with pytest.warns(DeprecationWarning):
-        occ = m2.occupancies(0)
-    assert occ["ap"] > 0.0
+    assert not hasattr(m2, "occupancies")
+    occ = m2.metrics(include_config=False)["occupancy"]
+    assert occ["0"]["ap"] > 0.0
 
 
 def test_ctor_kwargs_removed():
