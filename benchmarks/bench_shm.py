@@ -176,3 +176,139 @@ def test_priority_isolates_protocol_from_bulk(benchmark):
     # while low-priority bulk saturates the same links (the home's bus
     # and command stream still share, so some inflation is real)
     assert loaded < 4.0 * quiet
+
+
+# ----------------------------------------------------------------------
+# the X-shm sweep CLI: sharing-pattern curves at cluster scale
+# ----------------------------------------------------------------------
+
+import os
+import sys
+
+SWEEP_HEADER = ["pattern", "nodes", "ns/access"]
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _sweep_config(nodes, args):
+    import repro
+
+    cfg = repro.default_config(n_nodes=nodes)
+    if args.sanitize:
+        cfg.sanitize = args.sanitize
+    return cfg
+
+
+def _pattern_sweep(args):
+    """ns-per-access for each sharing pattern at each node count — the
+    four curves of the X-shm figure."""
+    import repro
+    from repro.shm.workloads import SHARING_PATTERNS
+
+    curves = {}
+    for pattern in SHARING_PATTERNS:
+        points = curves[pattern] = []
+        for nodes in args.nodes:
+            run = repro.run(
+                repro.scenario("shm_patterns", pattern=pattern,
+                               rounds=args.rounds),
+                config=_sweep_config(nodes, args))
+            r = run.results[0]
+            points.append({"nodes": nodes,
+                           "ns_per_access": r["ns_per_access"]})
+    return curves
+
+
+def _workload_checks(args):
+    """The two real shared-memory workloads at the sweep's largest
+    machine: correctness booleans, not timing."""
+    import repro
+
+    nodes = max(args.nodes)
+    results = {}
+    run = repro.run(
+        repro.scenario("shm_graph", n_vertices=6 * nodes),
+        config=_sweep_config(nodes, args))
+    g = run.results[0]
+    results["graph"] = {"nodes": nodes, "levels": g["levels"],
+                        "ok": bool(g["bfs_ok"])}
+    run = repro.run(
+        repro.scenario("shm_hash", keys_per_rank=2,
+                       n_buckets=4 * nodes, stripes=8),
+        config=_sweep_config(nodes, args))
+    h = run.results[0]
+    results["hash"] = {
+        "nodes": nodes,
+        "ok": bool(h["inserted"] and h["found"]
+                   and all(h["inserted"].values())
+                   and all(h["found"].values())),
+    }
+    return results
+
+
+def _shm_flags(parser):
+    parser.add_argument("--nodes", default="2,4,8,16",
+                        help="comma-separated node counts for the sweep "
+                             "(default 2,4,8,16)")
+    parser.add_argument("--rounds", type=int, default=6,
+                        help="rounds per sharing-pattern kernel (default 6)")
+    parser.add_argument("--workload", default="patterns",
+                        choices=("patterns", "workloads", "all"),
+                        help="patterns = the four-curve sweep; workloads = "
+                             "graph+hash correctness at the largest node "
+                             "count; all = both (default patterns)")
+    parser.add_argument("--out-dir", default=RESULTS_DIR,
+                        help="artifact directory (default benchmarks/results)")
+
+
+def run(args):
+    from repro.bench import print_table
+    from repro.obs import write_metrics
+
+    args.nodes = sorted({int(tok) for tok in
+                         str(args.nodes).replace(",", " ").split()})
+    document = {
+        "benchmark": "shm",
+        "schema": "startv.bench_shm",
+        "schema_version": 1,
+        "nodes": args.nodes,
+        "rounds": args.rounds,
+    }
+    if args.workload in ("patterns", "all"):
+        curves = _pattern_sweep(args)
+        document["patterns"] = curves
+        rows = [[pattern, point["nodes"],
+                 round(point["ns_per_access"], 1)]
+                for pattern, points in curves.items() for point in points]
+        print_table("X-shm: sharing-pattern sweep (ns per access)",
+                    SWEEP_HEADER, rows)
+    if args.workload in ("workloads", "all"):
+        checks = document["workloads"] = _workload_checks(args)
+        print_table("X-shm: shared-memory workloads",
+                    ["workload", "nodes", "ok"],
+                    [[name, c["nodes"], c["ok"]]
+                     for name, c in checks.items()])
+        if not all(c["ok"] for c in checks.values()):
+            return 1
+    path = write_metrics(
+        args.json or os.path.join(args.out_dir, "BENCH_shm.json"), document)
+    print(f"metrics: {path}")
+    return 0
+
+
+BENCH = {
+    "summary": "X-shm: sharing-pattern sweep + shared-memory workloads "
+               "over the S-COMA directory protocol",
+    "flags": _shm_flags,
+    "run": run,
+}
+
+
+def main(argv=None):
+    from repro.bench.cli import main as bench_main
+
+    return bench_main(["shm", *(sys.argv[1:] if argv is None else
+                                list(argv))])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,13 @@ _LAYER_RULES: Dict[str, Tuple[str, Set[str]]] = {
     "sim": ("allow", {"sim", "common"}),
     "net": ("deny", {"niu", "firmware"}),
     "mem": ("deny", {"mp", "shm"}),
+    # the protocol core is pure tables + bookkeeping: it may not grow a
+    # dependency on the simulator, firmware, or fabric (bus is allowed —
+    # the snoop table is keyed by bus-op type)
+    "coherence": ("allow", {"coherence", "common", "bus"}),
+    # user-level shared memory speaks to firmware through messages, not
+    # by reaching into the fabric
+    "shm": ("deny", {"net"}),
 }
 
 #: the curated public surface (ARCH002): what user-facing code —
@@ -98,9 +105,9 @@ _LAYER_RULES: Dict[str, Tuple[str, Set[str]]] = {
 #: ``mem``, machine internals) is simulator guts: an example that needs
 #: one documents why with ``# repro: allow ARCH002 -- reason``.
 _PUBLIC_PREFIXES: Tuple[str, ...] = (
-    "repro.analysis", "repro.bench", "repro.common", "repro.faults",
-    "repro.lib", "repro.mp", "repro.obs", "repro.shard", "repro.shm",
-    "repro.sync",
+    "repro.analysis", "repro.bench", "repro.coherence", "repro.common",
+    "repro.faults", "repro.lib", "repro.mp", "repro.obs", "repro.shard",
+    "repro.shm", "repro.sync",
 )
 _PUBLIC_EXACT: Tuple[str, ...] = (
     "repro", "repro.core.blocktransfer", "repro.core.inspect",
@@ -124,6 +131,7 @@ HOT_CLASSES: Dict[Tuple[str, ...], Set[str]] = {
     ("sync", "plan.py"): {"SwitchTreePlan"},
     ("niu", "queues.py"): {"QueueState"},
     ("niu", "clssram.py"): {"ClsSram"},
+    ("coherence", "directory.py"): {"DirectoryController", "DirEntry"},
     ("faults", "inject.py"): {"LinkFaultState"},
     ("firmware", "reliable.py"): {"_Flow"},
 }

@@ -21,12 +21,18 @@ queue       no SRAM write lands on an unconsumed hardware-queue entry
             ``window`` unacked segments with consecutive sequence
             numbers, and no received DATA sequence beyond
             ``expected + window``
-coherence   clsSRAM S-COMA transitions are legal: hardware (the aBIU
-            table walk) may only mark lines PENDING from INVALID or
-            RO, and no data-carrying fill *downgrades* an RW line —
-            the owner holds the only up-to-date copy, so such a fill
-            is a re-granted duplicate request overwriting modified
-            data with stale home data
+coherence   every observed MSI transition is machine-checked against
+            the protocol tables in :mod:`repro.coherence.protocol`:
+            directory decisions must match a DIR_TABLE rule replayed
+            over an independent mirror (single owner, no stale
+            re-grant, invalidation-ack conservation, no BUSY entries
+            or queued waiters left at drain); cause-tagged clsSRAM
+            writes must sit inside their CACHE_TABLE envelope;
+            hardware (the aBIU table walk) may only mark lines
+            PENDING from INVALID or RO; and no data-carrying fill
+            *downgrades* an RW line — the owner holds the only
+            up-to-date copy, so such a fill is a re-granted duplicate
+            request overwriting modified data with stale home data
 deadlock    when the event queue drains while non-daemon processes are
             still blocked, fail with a wait-for graph instead of
             silently returning
@@ -299,6 +305,8 @@ class QueueSanitizer:
 
     def install(self) -> None:
         for node in self.machine.nodes:
+            if node is None:  # sharded view: not every slot is local
+                continue
             ctrl = node.ctrl
             for bank, sram in enumerate((ctrl.asram, ctrl.ssram)):
                 guard = _BankGuard(self, ctrl, bank)
@@ -367,7 +375,7 @@ class QueueSanitizer:
 
 
 # ----------------------------------------------------------------------
-# clsSRAM coherence legality
+# MSI coherence legality (clsSRAM writes + directory decisions)
 # ----------------------------------------------------------------------
 
 #: the four S-COMA states the default protocol uses; transitions among
@@ -388,10 +396,10 @@ _HW_LEGAL = frozenset({
 #: overwriting the owner's modifications.  RW -> RW fills stay legal:
 #: Approach-4/5 block transfer streams 80-byte chunks over 32-byte
 #: lines, so a straddling chunk re-fills a line the previous chunk just
-#: flipped RW.  Plain (data-free) state writes are protocol-driven (the
-#: default S-COMA firmware services misses with the line simply
-#: INVALID; block transfer arms lines PENDING from any state), so no
-#: static pair table constrains them.
+#: flipped RW.  Untagged (cause-less) data-free state writes are
+#: outside the protocol tables (machine setup, block-transfer arming,
+#: experimental protocols); cause-tagged writes are checked against
+#: :data:`repro.coherence.protocol.CACHE_TABLE`.
 
 
 def _state_name(state: int) -> str:
@@ -399,8 +407,41 @@ def _state_name(state: int) -> str:
             CLS_RO: "RO", CLS_RW: "RW"}.get(state, f"custom({state})")
 
 
+class _DirMirror:
+    """Independently tracked home-side truth for one (home, line)."""
+
+    __slots__ = ("state", "owner", "expected_acks", "waiters")
+
+    def __init__(self) -> None:
+        from repro.coherence import protocol as cp
+
+        self.state: str = cp.HOME_VALID
+        self.owner = None
+        self.expected_acks = 0
+        self.waiters = 0
+
+
 class CoherenceSanitizer:
-    """Legal-transition checking on every clsSRAM state write."""
+    """Machine-checks every observed MSI transition against the tables.
+
+    Two vantage points, one protocol definition
+    (:mod:`repro.coherence.protocol`):
+
+    * **cache side** — every clsSRAM state write (hardware table walk or
+      firmware command) must be a legal transition; cause-tagged writes
+      must additionally sit inside their ``CACHE_TABLE`` envelope.
+    * **directory side** — every decision a
+      :class:`~repro.coherence.directory.DirectoryController` takes is
+      replayed against ``DIR_TABLE`` over an *independent mirror* of
+      state/owner/ack/waiter bookkeeping, enforcing: the fired
+      (action, next-state) exists for the observed (state, event); at
+      most one owner at a time, and ownership only moves through a
+      relinquishing event from the old owner; a line is never re-granted
+      to the node the mirror still records as owner (stale duplicate);
+      invalidation acks are conserved (a write grant releases only after
+      exactly the acks the invalidation round opened); and at drain no
+      line is BUSY, owes acks, or holds queued waiters.
+    """
 
     name = "coherence"
 
@@ -408,12 +449,23 @@ class CoherenceSanitizer:
         self.machine = machine
         self.hw_checked = 0
         self.fw_checked = 0
+        self.cause_checked = 0
+        self.dir_checked = 0
+        #: (home node id, line) -> independent mirror.
+        self.mirrors: Dict[Tuple[int, int], _DirMirror] = {}
 
     def install(self) -> None:
         for node in self.machine.nodes:
+            if node is None:
+                continue
             cls = node.ctrl.cls
             if cls is not None:
                 cls.sanitizer = self
+            scoma = node.sp.state.get("scoma")
+            if scoma is not None:
+                scoma.dir.sanitizer = self
+
+    # -- cache side --------------------------------------------------------
 
     def on_hw_transition(self, cls: "ClsSram", line: int, old: int,
                          new: int, op: Any) -> None:
@@ -431,7 +483,10 @@ class CoherenceSanitizer:
             )
 
     def on_fw_transition(self, cls: "ClsSram", line: int, old: int,
-                         new: int, fill: bool = False) -> None:
+                         new: int, fill: bool = False,
+                         cause: Optional[str] = None) -> None:
+        from repro.coherence.protocol import cache_transition_legal
+
         self.fw_checked += 1
         if old not in _SCOMA_STATES or new not in _SCOMA_STATES:
             return
@@ -443,12 +498,146 @@ class CoherenceSanitizer:
                 f"would overwrite the owner's modified frame with stale "
                 f"home data (re-granted duplicate request?)"
             )
+        if cause is None:
+            return
+        self.cause_checked += 1
+        try:
+            legal = cache_transition_legal(cause, old, new)
+        except KeyError:
+            raise SanitizerError(
+                f"clsSRAM write on line {line} carries unknown protocol "
+                f"cause {cause!r} (not a CACHE_TABLE key — firmware bug)"
+            ) from None
+        if not legal:
+            raise SanitizerError(
+                f"illegal clsSRAM transition on line {line} "
+                f"(addr {cls.addr_of(line):#x}): {_state_name(old)} -> "
+                f"{_state_name(new)} is outside the {cause!r} envelope "
+                f"of the protocol CACHE_TABLE"
+            )
+
+    # -- directory side ----------------------------------------------------
+
+    def _mirror(self, ctl: Any, line: int) -> _DirMirror:
+        key = (ctl.node_id, line)
+        mirror = self.mirrors.get(key)
+        if mirror is None:
+            mirror = self.mirrors[key] = _DirMirror()
+        return mirror
+
+    def on_dir_transition(self, ctl: Any, line: int, old: str, new: str,
+                          event: str, action: str, detail: Dict) -> None:
+        """Replay one directory decision against the protocol table."""
+        from repro.coherence import protocol as cp
+
+        self.dir_checked += 1
+        mirror = self._mirror(ctl, line)
+        where = f"home {ctl.node_id}, line {line}"
+        if mirror.state != old:
+            raise SanitizerError(
+                f"directory mirror divergence ({where}): controller is in "
+                f"{cp.dir_state_name(old)} but the mirror says "
+                f"{cp.dir_state_name(mirror.state)}"
+            )
+        rules = cp.DIR_TABLE.get((old, event))
+        if rules is None or (action, new) not in \
+                {(r.action, r.next_state) for r in rules}:
+            raise SanitizerError(
+                f"off-table directory transition ({where}): "
+                f"{cp.dir_state_name(old)} --{event}/{action}--> "
+                f"{cp.dir_state_name(new)} matches no DIR_TABLE rule"
+            )
+        requester, src = detail["requester"], detail["src"]
+        if action in cp.GRANT_ACTIONS:
+            # single-owner: ownership may only move once the recorded
+            # owner relinquished (its WBDATA / dirty eviction is `src`)
+            if mirror.owner is not None and mirror.owner != src:
+                raise SanitizerError(
+                    f"single-owner violation ({where}): {action} to node "
+                    f"{requester} while node {mirror.owner} still owns "
+                    f"the line"
+                )
+            # no stale re-grant: the recorded owner's own duplicate
+            # request must be dropped, never re-answered with home data
+            if mirror.owner is not None and mirror.owner == requester \
+                    and requester != src:
+                raise SanitizerError(
+                    f"stale re-grant ({where}): {action} re-answers "
+                    f"owner {requester}'s duplicate request with home "
+                    f"data"
+                )
+            if event == cp.EV_ACK:
+                if mirror.expected_acks != 1:
+                    raise SanitizerError(
+                        f"ack-count conservation violated ({where}): "
+                        f"write grant released with "
+                        f"{mirror.expected_acks} invalidation ack(s) "
+                        f"outstanding (expected exactly 1 remaining)"
+                    )
+                mirror.expected_acks = 0
+            elif mirror.expected_acks != 0:
+                raise SanitizerError(
+                    f"ack-count conservation violated ({where}): {action} "
+                    f"on {event!r} with {mirror.expected_acks} "
+                    f"invalidation ack(s) still outstanding"
+                )
+            mirror.owner = requester if action in cp.OWNER_GRANT_ACTIONS \
+                else None
+        elif action == "start_invalidate":
+            if mirror.expected_acks != 0:
+                raise SanitizerError(
+                    f"ack-count conservation violated ({where}): new "
+                    f"invalidation round opened with "
+                    f"{mirror.expected_acks} ack(s) outstanding"
+                )
+            mirror.expected_acks = len(detail["targets"])
+        elif action == "count_ack":
+            mirror.expected_acks -= 1
+            if mirror.expected_acks < 1:
+                raise SanitizerError(
+                    f"ack-count conservation violated ({where}): "
+                    f"count_ack left {mirror.expected_acks} ack(s) — the "
+                    f"final ack must release the grant instead"
+                )
+        elif action == "install_settle":
+            if mirror.owner is not None and mirror.owner != src:
+                raise SanitizerError(
+                    f"single-owner violation ({where}): dirty eviction "
+                    f"from node {src} settled the line node "
+                    f"{mirror.owner} owns"
+                )
+            mirror.owner = None
+        elif action == "queue":
+            mirror.waiters += 1
+        mirror.state = new
+
+    def on_waiter_pop(self, ctl: Any, line: int) -> None:
+        mirror = self._mirror(ctl, line)
+        mirror.waiters -= 1
+        if mirror.waiters < 0:
+            raise SanitizerError(
+                f"directory waiter underflow (home {ctl.node_id}, line "
+                f"{line}): more queued requests replayed than were queued"
+            )
 
     def on_drain(self) -> None:
-        pass
+        from repro.coherence import protocol as cp
+
+        for (home, line), mirror in sorted(self.mirrors.items()):
+            if mirror.state == cp.BUSY or mirror.expected_acks \
+                    or mirror.waiters:
+                raise SanitizerError(
+                    f"directory not quiescent at drain (home {home}, "
+                    f"line {line}): state "
+                    f"{cp.dir_state_name(mirror.state)}, "
+                    f"{mirror.expected_acks} ack(s) outstanding, "
+                    f"{mirror.waiters} waiter(s) queued"
+                )
 
     def report(self) -> Dict[str, int]:
-        return {"hw_checked": self.hw_checked, "fw_checked": self.fw_checked}
+        return {"hw_checked": self.hw_checked, "fw_checked": self.fw_checked,
+                "cause_checked": self.cause_checked,
+                "dir_checked": self.dir_checked}
 
 
 # ----------------------------------------------------------------------
@@ -489,9 +678,36 @@ class DeadlockWatchdog:
             else:
                 waits = f"-> {type(target).__name__} {target.name!r}"
             lines.append(f"  {kind}process {proc.name!r} {waits}")
+        lines.extend(self._directory_edges())
         if not lines:
             return ""
         return "wait-for graph at drain:\n" + "\n".join(lines)
+
+    def _directory_edges(self) -> List[str]:
+        """Unsettled coherence transactions are wait-for edges too: a
+        BUSY directory line means some requester is spinning on PENDING
+        until the home's invalidation/recall round completes."""
+        from repro.coherence.protocol import BUSY, dir_state_name
+
+        lines = []
+        for node in self.machine.nodes:
+            if node is None:
+                continue
+            scoma = node.sp.state.get("scoma")
+            if scoma is None:
+                continue
+            for line, entry in sorted(scoma.dir.directory.items()):
+                if entry.state != BUSY and not entry.waiters:
+                    continue
+                want_rw, requester = entry.pending or (None, None)
+                lines.append(
+                    f"  directory home {node.node_id} line {line}: "
+                    f"{dir_state_name(entry.state)}, pending "
+                    f"{'write' if want_rw else 'read'} for node "
+                    f"{requester}, {entry.pending_acks} ack(s) "
+                    f"outstanding, {len(entry.waiters)} waiter(s) queued"
+                )
+        return lines
 
     def on_drain(self) -> None:
         blocked = [p for p in self._alive() if not p.daemon]

@@ -132,6 +132,53 @@ def run_pytest_bench(path: str, extra: List[str]) -> int:
     return pytest.main([path, "-q", *extra])
 
 
+def pytest_bench(name: str, summary: str) -> Dict[str, Any]:
+    """``BENCH`` registration for a pytest-style benchmark file.
+
+    Gives the pedantic-benchmark files the same front door as the CLI
+    workers: shared flags are parsed, ``--sanitize`` maps to the
+    ``REPRO_SANITIZE`` environment (installing runtime sanitizers in
+    every machine the file builds), and ``--json`` dumps the recorded
+    result tables.  ``--jobs``/``--shards``/``--seed`` have no pytest
+    equivalent and are accepted but ignored.
+    """
+    summary = (summary or "").strip().splitlines()[0] if summary else ""
+
+    def run(args) -> int:
+        path = os.path.join(benchmarks_dir(), f"bench_{name}.py")
+        previous = os.environ.get("REPRO_SANITIZE")
+        if args.sanitize:
+            os.environ["REPRO_SANITIZE"] = args.sanitize
+        try:
+            rc = run_pytest_bench(path, ["-s"])
+        finally:
+            if args.sanitize:
+                if previous is None:
+                    os.environ.pop("REPRO_SANITIZE", None)
+                else:
+                    os.environ["REPRO_SANITIZE"] = previous
+        if args.json:
+            import json
+
+            from benchmarks.conftest import _rows
+
+            document = {
+                "benchmark": name,
+                "schema": "startv.bench_tables",
+                "schema_version": 1,
+                "tables": {
+                    title: {"header": list(header), "rows": rows}
+                    for title, (header, rows) in _rows.items()
+                },
+            }
+            with open(args.json, "w") as fh:
+                json.dump(document, fh, indent=2, sort_keys=True)
+            print(f"tables: {args.json}")
+        return rc
+
+    return {"summary": summary, "run": run, "flags": None}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("list", "--list", "-l"):

@@ -7,7 +7,9 @@ responses:
 
 * any ``RETRY``   → the master loses the tenure and must re-arbitrate.
   This is the mechanism S-COMA rides: the aBIU retries reads of lines
-  whose clsSRAM state says "not here yet".
+  whose clsSRAM state says "not here yet".  What the states *mean* —
+  and how the home-node directory moves them — is defined once in
+  :mod:`repro.coherence.protocol`; snoopers only carry the mechanism.
 * any ``CLAIM``   → that snooper serves the data tenure instead of the
   address-map owner (the aBIU claims all NIU windows; a modified L2 line
   claims a fill and intervenes with its data).

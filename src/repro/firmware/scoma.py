@@ -23,18 +23,29 @@ Protocol summary (line granularity, home = assigned per line):
   *is* memory, so home-side transitions only flip clsSRAM bits and kill
   stale L2 lines.
 
-Requests that hit a line mid-transition queue on the directory entry and
-replay in arrival order, so the protocol is free of request/request
+This module is the protocol's *mechanism*: it moves data, sends
+messages, and flips clsSRAM bits.  Every *decision* — grant, queue,
+invalidate, recall, drop — comes from the per-node
+:class:`repro.coherence.directory.DirectoryController`, which applies
+the data-driven transition tables in :mod:`repro.coherence.protocol`.
+Requests that hit a line mid-transition queue on the directory entry
+and replay in arrival order, so the protocol is free of request/request
 races; all protocol traffic uses the high network priority, keeping
 replies from deadlocking behind bulk data.
+
+Late echoes of already-settled transitions (a recall crossing a dirty
+eviction, an eviction from a previous ownership epoch) are detected by
+the controller's owner check and counted+dropped without touching the
+frame — re-applying them would overwrite newer data or resurrect a
+relinquished copy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Generator, List, Tuple
 
 from repro.bus.ops import BusOpType
+from repro.coherence.directory import DirectoryController
 from repro.common.errors import FirmwareError
 from repro.firmware import proto
 from repro.firmware.base import (
@@ -50,44 +61,48 @@ from repro.niu.commands import (
     CmdForward,
     CmdWriteDram,
 )
-from repro.niu.niu import SP_PROTOCOL_QUEUE, SP_TX_PROTOCOL, vdst_for
+from repro.niu.niu import (
+    SP_PROTOCOL_QUEUE,
+    SP_TX_PROTOCOL,
+    needs_raw_addressing,
+    vdst_for,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.niu.sp import ServiceProcessor
     from repro.sim.events import Event
 
-# directory states
-HOME_VALID = "home"  #: home frame is the memory copy; ``sharers`` may read
-EXCLUSIVE = "excl"  #: one remote owner holds the only valid (RW) copy
-BUSY = "busy"  #: invalidation or recall in flight
-
-
-@dataclass
-class DirEntry:
-    """Home-side directory state for one line."""
-
-    state: str = HOME_VALID
-    sharers: Set[int] = field(default_factory=set)
-    owner: Optional[int] = None
-    pending_acks: int = 0
-    #: the request being completed while BUSY: (want_rw, requester).
-    pending: Optional[Tuple[bool, int]] = None
-    #: recalled data captured by WBDATA for the pending grant.
-    wb_data: Optional[bytes] = None
-    #: queued requests that arrived while BUSY.
-    waiters: List[Tuple[bool, int]] = field(default_factory=list)
+# directory states, re-exported for callers that predate the coherence
+# package (tests, inspection tooling).
+from repro.coherence.protocol import BUSY, EXCLUSIVE, HOME_VALID  # noqa: F401
+from repro.coherence.directory import DirEntry  # noqa: F401
 
 
 class ScomaState:
     """Per-node S-COMA firmware state."""
 
+    __slots__ = ("home_of", "scoma_base", "line_bytes", "staging", "dir",
+                 "wide")
+
     def __init__(self, home_of: List[int], scoma_base: int, line_bytes: int,
-                 staging: int) -> None:
+                 staging: int, node_id: int, wide: bool = False) -> None:
         self.home_of = home_of
         self.scoma_base = scoma_base
         self.line_bytes = line_bytes
         self.staging = staging
-        self.directory: Dict[int, DirEntry] = {}
+        #: this node's directory controller (lines it is home for).
+        self.dir = DirectoryController(node_id)
+        #: kernel-mode RAW addressing (machines beyond the 16-node
+        #: byte-vdst translation convention).
+        self.wide = wide
+
+    @property
+    def directory(self):
+        """Line -> :class:`DirEntry` (inspection/test compatibility)."""
+        return self.dir.directory
+
+    def entry(self, line: int) -> DirEntry:
+        return self.dir.entry(line)
 
     def line_of_offset(self, offset: int) -> int:
         return offset // self.line_bytes
@@ -95,18 +110,17 @@ class ScomaState:
     def frame_addr(self, line: int) -> int:
         return self.scoma_base + line * self.line_bytes
 
-    def entry(self, line: int) -> DirEntry:
-        if line not in self.directory:
-            self.directory[line] = DirEntry()
-        return self.directory[line]
-
 
 def setup_scoma(sp: "ServiceProcessor", home_of: List[int]) -> None:
     """Install S-COMA firmware and initialize clsSRAM home states."""
     niu = sp.state["niu"]
     cls = niu.cls
     staging = niu.alloc_ssram(64)
-    st = ScomaState(home_of, cls.cover_base, cls.line_bytes, staging)
+    node = sp.state.get("node")
+    n_nodes = (node.config.n_nodes if node is not None
+               else max(home_of, default=0) + 1)
+    st = ScomaState(home_of, cls.cover_base, cls.line_bytes, staging,
+                    sp.node_id, wide=needs_raw_addressing(n_nodes))
     sp.state["scoma"] = st
     for line, home in enumerate(home_of):
         cls.set_state(line, CLS_RW if home == sp.node_id else CLS_INVALID)
@@ -118,6 +132,19 @@ def setup_scoma(sp: "ServiceProcessor", home_of: List[int]) -> None:
     register_msg_handler(sp, proto.MSG_SCOMA_WBREQ, handle_writeback_req)
     register_msg_handler(sp, proto.MSG_SCOMA_WBDATA, handle_writeback_data)
     install_eviction(sp)
+
+
+def _send_proto(sp: "ServiceProcessor", dst: int, payload: bytes
+                ) -> Generator["Event", None, None]:
+    """Send one protocol message to ``dst``'s SP_PROTOCOL_QUEUE (always
+    the high network priority; RAW addressing beyond 16 nodes)."""
+    st: ScomaState = sp.state["scoma"]
+    if st.wide:
+        yield from fw_send(sp, dst, payload, queue=SP_TX_PROTOCOL,
+                           raw_queue=SP_PROTOCOL_QUEUE)
+    else:
+        yield from fw_send(sp, vdst_for(dst, SP_PROTOCOL_QUEUE), payload,
+                           queue=SP_TX_PROTOCOL)
 
 
 # ----------------------------------------------------------------------
@@ -140,11 +167,8 @@ def handle_miss(sp: "ServiceProcessor", event: Tuple
     if home == sp.node_id:
         yield from home_request(sp, want_rw, line, sp.node_id)
     else:
-        yield from fw_send(
-            sp, vdst_for(home, SP_PROTOCOL_QUEUE),
-            proto.pack_scoma_req(want_rw, line * st.line_bytes, sp.node_id),
-            queue=SP_TX_PROTOCOL,
-        )
+        yield from _send_proto(
+            sp, home, proto.pack_scoma_req(want_rw, line * st.line_bytes, sp.node_id))
 
 
 # ----------------------------------------------------------------------
@@ -166,31 +190,11 @@ def home_request(sp: "ServiceProcessor", want_rw: bool, line: int,
     st: ScomaState = sp.state["scoma"]
     if st.home_of[line] != sp.node_id:
         raise FirmwareError(f"node {sp.node_id} is not home for line {line}")
-    entry = st.entry(line)
-    if entry.state == BUSY:
-        entry.waiters.append((want_rw, requester))
+    action = st.dir.request(line, want_rw, requester)
+    kind = action[0]
+    if kind == "queue":
         return
-    if entry.state == HOME_VALID:
-        if not want_rw:
-            yield from _grant(sp, line, False, requester, None)
-            return
-        # write request: invalidate every other sharer first
-        targets = entry.sharers - {requester}
-        if targets:
-            entry.state = BUSY
-            entry.pending = (True, requester)
-            entry.pending_acks = len(targets)
-            for sharer in sorted(targets):
-                yield from fw_send(
-                    sp, vdst_for(sharer, SP_PROTOCOL_QUEUE),
-                    proto.pack_scoma_inv(line * st.line_bytes),
-                    queue=SP_TX_PROTOCOL,
-                )
-            return
-        yield from _grant(sp, line, True, requester, None)
-        return
-    # EXCLUSIVE: recall the line from its owner
-    if entry.owner == requester:
+    if kind == "dup":
         # stale duplicate: the requester was invalidated after sending its
         # first request and re-missed before the (in-flight) grant landed.
         # The grant will satisfy the retrying access; dropping the
@@ -199,63 +203,86 @@ def home_request(sp: "ServiceProcessor", want_rw: bool, line: int,
         # data.
         sp.stats.counter(f"{sp.name}.scoma_dup_requests").incr()
         return
-    entry.state = BUSY
-    entry.pending = (want_rw, requester)
-    yield from fw_send(
-        sp, vdst_for(entry.owner, SP_PROTOCOL_QUEUE),
-        proto.pack_scoma_wbreq(line * st.line_bytes,
-                               downgrade_to_ro=not want_rw),
-        queue=SP_TX_PROTOCOL,
-    )
+    if kind == "invalidate":
+        # write request: invalidate every other sharer first
+        targets = action[1]
+        sp.stats.counter(f"{sp.name}.scoma_inv_sent").incr(len(targets))
+        for sharer in targets:
+            yield from _send_proto(
+                sp, sharer, proto.pack_scoma_inv(line * st.line_bytes))
+        return
+    if kind == "recall":
+        owner, downgrade_to_ro = action[1], action[2]
+        yield from _send_proto(
+            sp, owner, proto.pack_scoma_wbreq(line * st.line_bytes,
+                                   downgrade_to_ro=downgrade_to_ro))
+        return
+    # ("grant", want_rw, requester, keep_ro): the directory has settled;
+    # move the data and flip the state bits.
+    yield from _grant(sp, line, action[1], action[2], None)
 
 
 def _grant(sp: "ServiceProcessor", line: int, want_rw: bool, requester: int,
-           data: Optional[bytes]) -> Generator["Event", None, None]:
-    """Complete a request at the home: move data, set states, update dir."""
+           data) -> Generator["Event", None, None]:
+    """Execute a grant at the home: move data and set line states.
+
+    Pure mechanism — the directory bookkeeping already happened in the
+    controller when the grant action was decided.
+    """
     st: ScomaState = sp.state["scoma"]
     cls = sp.state["niu"].cls
-    entry = st.entry(line)
     frame = st.frame_addr(line)
-    if requester != sp.node_id:
-        if data is None:
-            data = yield from fw_dram_read(sp, frame, st.line_bytes, st.staging)
-        new_state = CLS_RW if want_rw else CLS_RO
-        yield from sp.sbiu.enqueue_command(
-            LOCAL_CMDQ_0,
-            CmdForward(requester, CmdWriteDram(frame, data,
-                                               set_cls_state=new_state)),
-        )
-    if want_rw:
-        if requester == sp.node_id:
-            yield from _set_own_cls(sp, line, CLS_RW)
-        else:
-            # home loses its copy: state bits + stale L2 line
-            yield from _set_own_cls(sp, line, CLS_INVALID, kill_l2=True)
-            entry.state = EXCLUSIVE
-            entry.owner = requester
-            entry.sharers = set()
-            return
-        entry.state = HOME_VALID
-        entry.owner = None
-        entry.sharers = set()
-        return
-    # read grant: home frame stays the memory copy, readable by all
     if requester == sp.node_id:
-        yield from _set_own_cls(sp, line, CLS_RO)
-    else:
-        entry.sharers.add(requester)
-        if cls.state(line) == CLS_RW:
-            yield from _set_own_cls(sp, line, CLS_RO)
-    entry.state = HOME_VALID
-    entry.owner = None
+        if want_rw:
+            yield from _set_own_cls(sp, line, CLS_RW, cause="grant")
+            return
+        yield from _set_own_cls(sp, line, CLS_RO, cause="grant")
+        sp.stats.accumulator("scoma.sharer_occupancy").add(
+            float(st.dir.sharer_count(line)))
+        return
+    # Remote requester.  Revoke/downgrade the home's own access BEFORE
+    # snapshotting the frame: the home aP writes through its own
+    # write-back L2, so a store landing between the frame read and a
+    # later state flip would exist only in a copy the grant no longer
+    # covers.  Flipped first, any straggler store either still hits the
+    # Modified L2 line (flushed into the granted bytes below) or misses
+    # and queues at the directory behind this grant.
+    home_had_rw = cls.state(line) == CLS_RW
+    if want_rw:
+        yield from _set_own_cls(sp, line, CLS_INVALID, cause="yield_owner",
+                                kill_l2=not home_had_rw)
+    elif home_had_rw:
+        yield from _set_own_cls(sp, line, CLS_RO, cause="downgrade")
+    if data is None:
+        if home_had_rw:
+            # the newest bytes may sit Modified in the home's L2: FLUSH
+            # pushes them into the frame and invalidates the copy (a
+            # KILL would destroy them — the WBREQ/evict paths agree)
+            yield from sp.sbiu.enqueue_command(
+                LOCAL_CMDQ_0,
+                CmdBusOp(BusOpType.FLUSH, frame, st.line_bytes),
+            )
+        data = yield from fw_dram_read(sp, frame, st.line_bytes, st.staging)
+    new_state = CLS_RW if want_rw else CLS_RO
+    sp.stats.counter(f"{sp.name}.scoma_forwards").incr()
+    yield from sp.sbiu.enqueue_command(
+        LOCAL_CMDQ_0,
+        CmdForward(requester, CmdWriteDram(frame, data,
+                                           set_cls_state=new_state)),
+    )
+    if not want_rw:
+        sp.stats.accumulator("scoma.sharer_occupancy").add(
+            float(st.dir.sharer_count(line)))
 
 
 def _set_own_cls(sp: "ServiceProcessor", line: int, state: int,
-                 kill_l2: bool = False) -> Generator["Event", None, None]:
+                 kill_l2: bool = False, cause: str = None
+                 ) -> Generator["Event", None, None]:
     st: ScomaState = sp.state["scoma"]
     cls = sp.state["niu"].cls
     yield sp.compute(sp.fw.cls_update_insns)
-    yield from sp.sbiu.immediate(lambda: cls.set_state(line, state))
+    yield from sp.sbiu.immediate(
+        lambda: cls.set_state(line, state, cause=cause))
     if kill_l2:
         yield from sp.sbiu.enqueue_command(
             LOCAL_CMDQ_0,
@@ -267,9 +294,11 @@ def _drain_waiters(sp: "ServiceProcessor", line: int
                    ) -> Generator["Event", None, None]:
     """Replay requests queued while the line was BUSY."""
     st: ScomaState = sp.state["scoma"]
-    entry = st.entry(line)
-    while entry.waiters and entry.state != BUSY:
-        want_rw, requester = entry.waiters.pop(0)
+    while True:
+        waiter = st.dir.pop_waiter(line)
+        if waiter is None:
+            return
+        want_rw, requester = waiter
         yield from home_request(sp, want_rw, line, requester)
 
 
@@ -284,11 +313,9 @@ def handle_invalidate(sp: "ServiceProcessor", src: int, payload: bytes
     yield sp.compute(sp.fw.cls_update_insns)
     st: ScomaState = sp.state["scoma"]
     line = st.line_of_offset(offset)
-    yield from _set_own_cls(sp, line, CLS_INVALID, kill_l2=True)
-    yield from fw_send(
-        sp, vdst_for(src, SP_PROTOCOL_QUEUE),
-        proto.pack_scoma_invack(offset), queue=SP_TX_PROTOCOL,
-    )
+    yield from _set_own_cls(sp, line, CLS_INVALID, kill_l2=True, cause="inv")
+    yield from _send_proto(
+        sp, src, proto.pack_scoma_invack(offset))
 
 
 def handle_invack(sp: "ServiceProcessor", src: int, payload: bytes
@@ -298,17 +325,11 @@ def handle_invack(sp: "ServiceProcessor", src: int, payload: bytes
     yield sp.compute(sp.fw.scoma_home_insns)
     st: ScomaState = sp.state["scoma"]
     line = st.line_of_offset(offset)
-    entry = st.entry(line)
-    if entry.state != BUSY or entry.pending is None:
-        raise FirmwareError(f"unexpected INVACK for line {line}")
-    entry.pending_acks -= 1
-    if entry.pending_acks > 0:
+    action = st.dir.ack(line, src)
+    if action[0] == "wait":
         return
-    want_rw, requester = entry.pending
-    entry.pending = None
-    entry.sharers = set()
-    entry.state = HOME_VALID
-    yield from _grant(sp, line, want_rw, requester, None)
+    sp.stats.counter(f"{sp.name}.scoma_ack_rounds").incr()
+    yield from _grant(sp, line, action[1], action[2], None)
     yield from _drain_waiters(sp, line)
 
 
@@ -318,21 +339,28 @@ def handle_writeback_req(sp: "ServiceProcessor", src: int, payload: bytes
     offset, downgrade_to_ro = proto.unpack_scoma_wbreq(payload)
     yield sp.compute(sp.fw.scoma_fill_insns)
     st: ScomaState = sp.state["scoma"]
+    cls = sp.state["niu"].cls
     line = st.line_of_offset(offset)
     frame = st.frame_addr(line)
-    # force any newer L2 data into the DRAM frame, then read it
+    if cls.state(line) != CLS_RW:
+        # the copy already left via a voluntary eviction; the EVICT in
+        # flight settles the recall at the home.  Answering anyway would
+        # resurrect a relinquished line (and ship stale bytes).
+        sp.stats.counter(f"{sp.name}.scoma_stale_wbreq").incr()
+        return
+    # drop write rights BEFORE reading the frame — a store landing after
+    # the snapshot would otherwise stay in a copy the writeback missed —
+    # then force any Modified L2 data into the frame and read it
+    if downgrade_to_ro:
+        yield from _set_own_cls(sp, line, CLS_RO, cause="relinquish")
+    else:
+        yield from _set_own_cls(sp, line, CLS_INVALID, cause="relinquish")
     yield from sp.sbiu.enqueue_command(
         LOCAL_CMDQ_0, CmdBusOp(BusOpType.FLUSH, frame, st.line_bytes)
     )
     data = yield from fw_dram_read(sp, frame, st.line_bytes, st.staging)
-    if downgrade_to_ro:
-        yield from _set_own_cls(sp, line, CLS_RO)
-    else:
-        yield from _set_own_cls(sp, line, CLS_INVALID)
-    yield from fw_send(
-        sp, vdst_for(src, SP_PROTOCOL_QUEUE),
-        proto.pack_scoma_wbdata(offset, data), queue=SP_TX_PROTOCOL,
-    )
+    yield from _send_proto(
+        sp, src, proto.pack_scoma_wbdata(offset, data))
 
 
 def handle_writeback_data(sp: "ServiceProcessor", src: int, payload: bytes
@@ -342,22 +370,19 @@ def handle_writeback_data(sp: "ServiceProcessor", src: int, payload: bytes
     yield sp.compute(sp.fw.scoma_home_insns)
     st: ScomaState = sp.state["scoma"]
     line = st.line_of_offset(offset)
-    entry = st.entry(line)
-    if entry.state != BUSY or entry.pending is None:
+    action = st.dir.wbdata(line, src)
+    if action[0] == "stale":
         # a dirty eviction raced ahead of the recall and already settled
         # the line; this WBDATA is the recall's late echo — drop it
         sp.stats.counter(f"{sp.name}.scoma_stale_wbdata").incr()
         return
-    want_rw, requester = entry.pending
-    old_owner = entry.owner
-    entry.pending = None
-    entry.owner = None
-    entry.state = HOME_VALID
-    entry.sharers = set() if want_rw else {old_owner}
-    yield from fw_dram_write(sp, st.frame_addr(line), data, fence=False)
-    if not want_rw:
+    _kind, want_rw, requester, keep_ro = action
+    # fenced: the grant below makes the frame readable (possibly by the
+    # home's own retrying aP), so the data must be committed first
+    yield from fw_dram_write(sp, st.frame_addr(line), data)
+    if keep_ro:
         # the home frame is the memory copy again: home may read it
-        yield from _set_own_cls(sp, line, CLS_RO)
+        yield from _set_own_cls(sp, line, CLS_RO, cause="wb_install")
     yield from _grant(sp, line, want_rw, requester, data)
     yield from _drain_waiters(sp, line)
 
@@ -371,7 +396,7 @@ def handle_writeback_data(sp: "ServiceProcessor", src: int, payload: bytes
 # sharer set; a dirty (RW) copy carries its data home first.  Evictions
 # race benignly with the home's own invalidations/recalls: the home
 # treats an eviction that crosses a recall as the recall's writeback,
-# and late WBDATA for an already-settled line is counted and dropped.
+# and late echoes for an already-settled line are counted and dropped.
 
 #: request type for the local "evict this line" ask (application range).
 MSG_SCOMA_EVICT_REQ = proto.MSG_USER + 2
@@ -403,25 +428,22 @@ def handle_evict_request(sp: "ServiceProcessor", src: int, payload: bytes
         # the home frame IS memory; nothing to evict
         return
     if state == CLS_RO:
-        yield from _set_own_cls(sp, line, CLS_INVALID, kill_l2=True)
-        yield from fw_send(
-            sp, vdst_for(home, SP_PROTOCOL_QUEUE),
-            proto.pack_scoma_evict(offset), queue=SP_TX_PROTOCOL,
-        )
+        yield from _set_own_cls(sp, line, CLS_INVALID, kill_l2=True,
+                                cause="evict")
+        yield from _send_proto(
+            sp, home, proto.pack_scoma_evict(offset))
     elif state == CLS_RW:
+        # drop rights first (stores after the flip queue at the home),
         # flush newer L2 data into the frame, read it, ship it home
+        yield from _set_own_cls(sp, line, CLS_INVALID, cause="evict")
         yield from sp.sbiu.enqueue_command(
             LOCAL_CMDQ_0,
             CmdBusOp(BusOpType.FLUSH, st.frame_addr(line), st.line_bytes),
         )
         data = yield from fw_dram_read(sp, st.frame_addr(line),
                                        st.line_bytes, st.staging)
-        yield from _set_own_cls(sp, line, CLS_INVALID)
-        yield from fw_send(
-            sp, vdst_for(home, SP_PROTOCOL_QUEUE),
-            proto.pack_scoma_evict_dirty(offset, data),
-            queue=SP_TX_PROTOCOL,
-        )
+        yield from _send_proto(
+            sp, home, proto.pack_scoma_evict_dirty(offset, data))
     # INVALID/PENDING: nothing cached here; the request is a no-op
 
 
@@ -431,8 +453,7 @@ def handle_evict_notice(sp: "ServiceProcessor", src: int, payload: bytes
     offset = proto.unpack_scoma_evict(payload)
     yield sp.compute(sp.fw.scoma_home_insns)
     st: ScomaState = sp.state["scoma"]
-    entry = st.entry(st.line_of_offset(offset))
-    entry.sharers.discard(src)
+    st.dir.evict_clean(st.line_of_offset(offset), src)
 
 
 def handle_evict_dirty(sp: "ServiceProcessor", src: int, payload: bytes
@@ -440,27 +461,26 @@ def handle_evict_dirty(sp: "ServiceProcessor", src: int, payload: bytes
     """Home side: the owner evicted; its data re-validates the home frame.
 
     If a recall (WBREQ) was already in flight for this line, the eviction
-    *is* the writeback: complete the pending request with this data.
+    *is* the writeback: complete the pending request with this data.  An
+    eviction from anyone but the recorded owner is a stale echo of a
+    previous ownership epoch — its data must not touch the frame.
     """
     offset, data = proto.unpack_scoma_evict_dirty(payload)
     yield sp.compute(sp.fw.scoma_home_insns)
     st: ScomaState = sp.state["scoma"]
     line = st.line_of_offset(offset)
-    entry = st.entry(line)
-    yield from fw_dram_write(sp, st.frame_addr(line), data, fence=False)
-    if entry.state == BUSY and entry.pending is not None:
-        want_rw, requester = entry.pending
-        entry.pending = None
-        entry.owner = None
-        entry.state = HOME_VALID
-        entry.sharers = set()
-        if not want_rw:
-            yield from _set_own_cls(sp, line, CLS_RO)
-        yield from _grant(sp, line, want_rw, requester, data)
-        yield from _drain_waiters(sp, line)
+    action = st.dir.evict_dirty(line, src)
+    if action[0] == "stale":
+        sp.stats.counter(f"{sp.name}.scoma_stale_evicts").incr()
         return
-    if entry.owner == src:
-        entry.owner = None
-        entry.state = HOME_VALID
-        entry.sharers = set()
-    yield from _set_own_cls(sp, line, CLS_RW)
+    # fenced for the same reason as the WBDATA install: the state flips
+    # below make the frame readable before an unfenced write would land
+    yield from fw_dram_write(sp, st.frame_addr(line), data)
+    if action[0] == "settle":
+        yield from _set_own_cls(sp, line, CLS_RW, cause="settle")
+        return
+    _kind, want_rw, requester, keep_ro = action
+    if keep_ro:
+        yield from _set_own_cls(sp, line, CLS_RO, cause="wb_install")
+    yield from _grant(sp, line, want_rw, requester, data)
+    yield from _drain_waiters(sp, line)

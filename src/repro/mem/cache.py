@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
 
 from repro.bus.ops import BusOpType, BusTransaction
 from repro.bus.snoop import Snooper, SnoopResult
+from repro.coherence.protocol import l2_snoop_reaction
 from repro.common.config import CacheConfig
 from repro.common.errors import ProgramError
 
@@ -220,36 +221,30 @@ class SnoopingL2(Snooper):
     # -- snooper interface -------------------------------------------------------
 
     def snoop(self, txn: BusTransaction) -> SnoopResult:
-        """Maintain coherence against foreign masters (see module docstring)."""
+        """Maintain coherence against foreign masters.
+
+        The reaction comes from the shared protocol definition
+        (:data:`repro.coherence.protocol.L2_SNOOP_TABLE`): push the
+        Modified data into DRAM when the foreign master needs current
+        bytes (a write push lets a *partial* foreign write merge into
+        our line instead of destroying it — the 60X would retry the
+        writer and force a writeback first), then downgrade/invalidate.
+        """
         if txn.master == self.name:
             return SnoopResult.OK
         frame = self._find(txn.addr)
         if frame is None:
             return SnoopResult.OK
-        op = txn.op
-        if frame.state is LineState.MODIFIED and op in (
-            BusOpType.READ,
-            BusOpType.READ_LINE,
-            BusOpType.RWITM,
-            BusOpType.FLUSH,
-            # foreign writes too: the 60X would retry the writer and force
-            # a writeback first, so a *partial* foreign write merges into
-            # our modified line rather than destroying it.  The push runs
-            # in the snoop window, before the foreign data tenure applies.
-            BusOpType.WRITE,
-            BusOpType.WRITE_LINE,
-        ):
+        reaction = l2_snoop_reaction(frame.state.value, txn.op)
+        if reaction is None:
+            return SnoopResult.OK
+        if reaction.push:
             self._push_to_dram(txn.addr, frame)
-        if op in (BusOpType.RWITM, BusOpType.KILL, BusOpType.FLUSH):
-            frame.state = LineState.INVALID
-            frame.tag = -1
-        elif op in (BusOpType.WRITE, BusOpType.WRITE_LINE):
-            # foreign write makes our copy stale regardless of state
-            frame.state = LineState.INVALID
-            frame.tag = -1
-        elif op in (BusOpType.READ, BusOpType.READ_LINE):
-            if frame.state is LineState.MODIFIED:
-                frame.state = LineState.SHARED
+        if reaction.next_state is not None:
+            next_state = LineState(reaction.next_state)
+            if next_state is LineState.INVALID:
+                frame.tag = -1
+            frame.state = next_state
         return SnoopResult.OK
 
     def _push_to_dram(self, addr: int, frame: CacheLine) -> None:

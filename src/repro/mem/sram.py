@@ -3,7 +3,9 @@
 The NIU carries two *dual-ported* SRAMs (aSRAM, sSRAM) — one port on a
 604 bus side, the other on the IBus — plus the single-ported clsSRAM that
 the aBIU reads in parallel with every aP bus operation (modeled in
-:mod:`repro.niu.clssram`).
+:mod:`repro.niu.clssram`; the 4-bit states it holds are the cache side
+of the MSI directory protocol defined in
+:mod:`repro.coherence.protocol`).
 
 Each port is an arbitrated resource, so simultaneous IBus and bus-side
 traffic to the *same* bank contends per port while the two ports proceed

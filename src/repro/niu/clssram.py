@@ -19,13 +19,21 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.bus.ops import BusOpType
+from repro.coherence.protocol import (
+    MSI_INVALID,
+    MSI_PENDING,
+    MSI_RO,
+    MSI_RW,
+)
 from repro.common.errors import AddressError, ConfigError
 
-#: default S-COMA line states (values are the 4-bit clsSRAM contents).
-CLS_INVALID = 0  #: line not present locally — fetch required
-CLS_PENDING = 1  #: fetch in flight — retry without re-notifying firmware
-CLS_RO = 2  #: readable copy present
-CLS_RW = 3  #: writable (owned) copy present
+#: default S-COMA line states (values are the 4-bit clsSRAM contents);
+#: canonically defined by :mod:`repro.coherence.protocol`, re-exported
+#: here under their historical hardware-facing names.
+CLS_INVALID = MSI_INVALID  #: line not present locally — fetch required
+CLS_PENDING = MSI_PENDING  #: fetch in flight — retry, don't re-notify
+CLS_RO = MSI_RO  #: readable copy present
+CLS_RW = MSI_RW  #: writable (owned) copy present
 
 
 @dataclass(frozen=True)
@@ -102,12 +110,18 @@ class ClsSram:
             raise AddressError(f"clsSRAM line {line} out of range")
         return self._states[line]
 
-    def set_state(self, line: int, state: int, fill: bool = False) -> None:
+    def set_state(self, line: int, state: int, fill: bool = False,
+                  cause: str = None) -> None:
         """Write a line's state (firmware commands and Approach-5 hardware).
 
         ``fill`` marks data-carrying writes — a grant depositing home data
         alongside the state change — so the coherence sanitizer can flag
         fills that would overwrite a locally modified (RW) frame.
+        ``cause`` names the protocol step driving the write (a
+        :data:`repro.coherence.protocol.CACHE_TABLE` key); the sanitizer
+        machine-checks cause-tagged transitions against that table.
+        Untagged writes (setup, block-transfer arming, experimental
+        protocols) skip the table check.
         """
         if not (0 <= state <= 0xF):
             raise AddressError(f"clsSRAM state {state} needs 4 bits")
@@ -115,7 +129,8 @@ class ClsSram:
             raise AddressError(f"clsSRAM line {line} out of range")
         san = self.sanitizer
         if san is not None:
-            san.on_fw_transition(self, line, self._states[line], state, fill)
+            san.on_fw_transition(self, line, self._states[line], state, fill,
+                                 cause)
         self._states[line] = state
 
     def set_range(self, first_line: int, n_lines: int, state: int) -> None:

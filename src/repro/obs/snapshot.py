@@ -29,6 +29,10 @@ key                   contents
                       which is what makes them shard-count-invariant.
 ``busy_ns``           busy-tracker name -> accumulated busy nanoseconds
 ``occupancy``         node id (str) -> {"ap": fraction, "sp": fraction}
+``directory``         cluster-wide S-COMA directory-protocol totals
+                      (invalidations sent, data forwards, ack round-trips,
+                      dup/stale drops) plus the sharer-set occupancy
+                      histogram sampled at every read grant
 ``config``            flat machine configuration (``MachineConfig.describe``)
 ====================  =====================================================
 
@@ -37,7 +41,7 @@ Extra keys may appear next to these (benchmarks add ``benchmark``/
 
 Version history: v1 had no ``shards`` key and snapshotted accumulators in
 raw insertion order; v2 adds ``shards`` and the canonical scope-merged
-accumulator fold.
+accumulator fold; v3 adds the ``directory`` section.
 """
 
 from __future__ import annotations
@@ -53,7 +57,34 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: current layout version of the snapshot dict below.
 METRICS_SCHEMA = "startv.metrics"
-METRICS_SCHEMA_VERSION = 2
+METRICS_SCHEMA_VERSION = 3
+
+#: directory-protocol counters (per-node firmware counter suffix ->
+#: snapshot key); the ``directory`` section sums them cluster-wide.
+_DIRECTORY_COUNTERS = (
+    ("invalidations_sent", "scoma_inv_sent"),
+    ("forwards", "scoma_forwards"),
+    ("ack_rounds", "scoma_ack_rounds"),
+    ("dup_requests", "scoma_dup_requests"),
+    ("stale_wbreq", "scoma_stale_wbreq"),
+    ("stale_wbdata", "scoma_stale_wbdata"),
+    ("stale_evicts", "scoma_stale_evicts"),
+)
+
+#: the sharer-occupancy accumulator (shard-invariant scoped name).
+_SHARER_OCCUPANCY = "scoma.sharer_occupancy"
+
+
+def _directory_section(counters: Dict[str, int],
+                       accumulator_rows: Dict[str, Any]) -> Dict[str, Any]:
+    """Cluster-wide directory-protocol totals from per-node counters."""
+    section: Dict[str, Any] = {}
+    for key, suffix in _DIRECTORY_COUNTERS:
+        dotted = "." + suffix
+        section[key] = sum(value for name, value in counters.items()
+                           if name.endswith(dotted))
+    section["sharer_occupancy"] = accumulator_rows.get(_SHARER_OCCUPANCY)
+    return section
 
 
 def _accumulator_rows(merged: Dict[str, Accumulator]) -> Dict[str, Any]:
@@ -69,6 +100,8 @@ def metrics_snapshot(machine: "StarTVoyager",
                      include_config: bool = True) -> Dict[str, Any]:
     """One machine's complete measurement state as a JSON-ready dict."""
     stats = machine.stats
+    counters = {name: c.value for name, c in sorted(stats._counters.items())}
+    accumulators = _accumulator_rows(stats.merged_accumulators())
     snapshot: Dict[str, Any] = {
         "schema": METRICS_SCHEMA,
         "schema_version": METRICS_SCHEMA_VERSION,
@@ -84,9 +117,8 @@ def metrics_snapshot(machine: "StarTVoyager",
                 "events_per_second": machine.engine.events_per_second,
             },
         },
-        "counters": {name: c.value
-                     for name, c in sorted(stats._counters.items())},
-        "accumulators": _accumulator_rows(stats.merged_accumulators()),
+        "counters": counters,
+        "accumulators": accumulators,
         "busy_ns": {name: b.current()
                     for name, b in sorted(stats._busy.items())},
         "occupancy": {
@@ -96,6 +128,7 @@ def metrics_snapshot(machine: "StarTVoyager",
             }
             for node in machine.nodes if node is not None
         },
+        "directory": _directory_section(counters, accumulators),
     }
     if include_config:
         snapshot["config"] = machine.config.describe()
@@ -174,6 +207,8 @@ def merge_shard_exports(exports: Sequence[Dict[str, Any]],
             for part in by_scope[scope]:
                 acc.merge(part)
         merged[name] = acc
+    counter_rows = dict(sorted(counters.items()))
+    accumulator_rows = _accumulator_rows(merged)
     snapshot: Dict[str, Any] = {
         "schema": METRICS_SCHEMA,
         "schema_version": METRICS_SCHEMA_VERSION,
@@ -188,10 +223,11 @@ def merge_shard_exports(exports: Sequence[Dict[str, Any]],
                 "events_per_second": events / wall if wall > 0 else 0.0,
             },
         },
-        "counters": dict(sorted(counters.items())),
-        "accumulators": _accumulator_rows(merged),
+        "counters": counter_rows,
+        "accumulators": accumulator_rows,
         "busy_ns": dict(sorted(busy.items())),
         "occupancy": dict(sorted(occupancy.items(), key=lambda kv: int(kv[0]))),
+        "directory": _directory_section(counter_rows, accumulator_rows),
     }
     if config is not None:
         snapshot["config"] = config.describe()

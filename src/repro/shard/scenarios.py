@@ -21,6 +21,10 @@ benchmark share:
 ``chaos``  ``mixed`` under a fault plan that downs a leaf uplink —
            a link that *is* a shard boundary at ``shards >= 2`` — then
            repairs it.
+``shm_graph``  level-synchronous parallel BFS over an S-COMA shared
+           region (the directory-coherence workload; shards=1 only).
+``shm_hash``   striped-lock shared hash table: every rank inserts,
+           then looks its keys back up (shards=1 only).
 """
 
 from __future__ import annotations
@@ -251,11 +255,183 @@ class ChaosScenario(MixedScenario):
         config.faults = FaultPlan(seed=config.seed, link_events=events)
 
 
+class _CoherentScenario(ShardScenario):
+    """Base for S-COMA shared-memory workloads.
+
+    The coherence traffic itself is ordinary firmware messaging and
+    would shard, but the sanitizer's quiescence check fires at every
+    window barrier — where an in-flight invalidation round is
+    legitimate — so these scenarios pin ``shards=1`` until windowed
+    quiescence learns to carry BUSY lines across barriers.
+    """
+
+    def prepare(self, config: MachineConfig) -> None:
+        if config.shards > 1:
+            raise ConfigError(
+                f"scenario {self.name!r} requires shards=1 (directory "
+                f"quiescence is checked at every window barrier)")
+
+
+class GraphScenario(_CoherentScenario):
+    """Parallel BFS over a shared distance array (see
+    :mod:`repro.shm.workloads`): phase 0 runs the level-synchronous
+    traversal on every rank, phase 1 coherently re-reads the distances
+    on rank 0 and diffs them against the sequential reference."""
+
+    name = "shm_graph"
+    phases = 2
+
+    def __init__(self, n_vertices: int = 96, degree: int = 2,
+                 seed: int = 1) -> None:
+        self.n_vertices = n_vertices
+        self.degree = degree
+        self.seed = seed
+
+    def setup(self, phase: int, machine, local_nodes, ctx) -> None:
+        from repro.shm.scoma import ScomaRegion
+        from repro.shm.workloads import (
+            bfs_verify,
+            bfs_worker,
+            init_bfs_region,
+            make_graph,
+            sequential_bfs,
+            vertex_slices,
+        )
+
+        n = machine.config.n_nodes
+        if phase == 0:
+            region = ctx["region"] = ScomaRegion(machine)
+            adj = ctx["adj"] = make_graph(self.n_vertices, self.degree,
+                                          self.seed)
+            init_bfs_region(region, self.n_vertices)
+            mpi = self._mpi(machine, ctx)
+            out = ctx.setdefault("out", {})
+            slices = vertex_slices(self.n_vertices, n)
+            for rank in local_nodes:
+                machine.spawn(rank, bfs_worker, mpi.rank(rank), region,
+                              adj, slices[rank].start, slices[rank].stop,
+                              out)
+            return
+        if 0 in local_nodes:
+            expected = sequential_bfs(ctx["adj"])
+            machine.spawn(0, bfs_verify, ctx["region"], expected,
+                          ctx["out"])
+
+    def result(self, machine, local_nodes, ctx) -> Dict[str, Any]:
+        out = ctx.get("out", {})
+        return {"levels": out.get("levels"), "bfs_ok": out.get("bfs_ok"),
+                "bad_vertices": out.get("bfs_bad_vertices")}
+
+
+class HashScenario(_CoherentScenario):
+    """Striped-lock shared hash table: phase 0 has every rank insert its
+    key set under ticket locks; phase 1 looks every key back up."""
+
+    name = "shm_hash"
+    phases = 2
+
+    def __init__(self, keys_per_rank: int = 8, n_buckets: int = 64,
+                 stripes: int = 4, lock_mode: str = "switch") -> None:
+        self.keys_per_rank = keys_per_rank
+        self.n_buckets = n_buckets
+        self.stripes = stripes
+        # switch mode combines the spinners' now-serving polls in the
+        # network — the endpoint path melts down past ~8 contenders
+        self.lock_mode = lock_mode
+
+    def _table(self, machine, ctx):
+        from repro.shm.scoma import ScomaRegion
+        from repro.shm.workloads import SharedHashTable
+
+        if "table" not in ctx:
+            region = ScomaRegion(machine)
+            region.init_data(0, bytes(self.n_buckets * region.line_bytes))
+            group = machine.sync_fabric().group(
+                range(machine.config.n_nodes), mode=self.lock_mode)
+            locks = [group.ticket_lock(cell=2 * s)
+                     for s in range(self.stripes)]
+            ctx["table"] = SharedHashTable(region, self.n_buckets, locks)
+        return ctx["table"]
+
+    def setup(self, phase: int, machine, local_nodes, ctx) -> None:
+        from repro.shm.workloads import hash_keys_for_rank, hash_value_of
+
+        table = self._table(machine, ctx)
+        if phase == 0:
+            inserted = ctx.setdefault("inserted", {})
+
+            def writer(api, rank):
+                ok = True
+                for key in hash_keys_for_rank(rank, self.keys_per_rank):
+                    done = yield from table.insert(api, rank, key,
+                                                   hash_value_of(key))
+                    ok = ok and done
+                inserted[rank] = ok
+
+            for rank in local_nodes:
+                machine.spawn(rank, writer, rank)
+            return
+        found = ctx.setdefault("found", {})
+
+        def reader(api, rank):
+            ok = True
+            for key in hash_keys_for_rank(rank, self.keys_per_rank):
+                value = yield from table.lookup(api, key)
+                ok = ok and value == hash_value_of(key)
+            found[rank] = ok
+
+        for rank in local_nodes:
+            machine.spawn(rank, reader, rank)
+
+    def result(self, machine, local_nodes, ctx) -> Dict[str, Any]:
+        return {"inserted": ctx.get("inserted", {}),
+                "found": ctx.get("found", {})}
+
+
+class PatternScenario(_CoherentScenario):
+    """One sharing-pattern kernel (see
+    :func:`repro.shm.workloads.pattern_worker`): every rank runs
+    ``rounds`` rounds of the pattern's access mix; the result is the
+    aggregate ns-per-access — the ``bench_shm`` sweep's data point."""
+
+    name = "shm_patterns"
+    phases = 1
+
+    def __init__(self, pattern: str = "hotspot", rounds: int = 6) -> None:
+        self.pattern = pattern
+        self.rounds = rounds
+
+    def setup(self, phase: int, machine, local_nodes, ctx) -> None:
+        from repro.shm.scoma import ScomaRegion
+        from repro.shm.workloads import pattern_worker
+
+        n = machine.config.n_nodes
+        region = ctx["region"] = ScomaRegion(machine)
+        # line 0 is the shared line; each rank's private line follows
+        region.init_data(0, bytes((n + 1) * region.line_bytes))
+        mpi = self._mpi(machine, ctx)
+        out = ctx.setdefault("out", {})
+        for rank in local_nodes:
+            machine.spawn(rank, pattern_worker, mpi.rank(rank), region,
+                          self.pattern, rank, n, self.rounds, out)
+
+    def result(self, machine, local_nodes, ctx) -> Dict[str, Any]:
+        from repro.shm.workloads import pattern_ns_per_access
+
+        out = ctx.get("out", {})
+        return {"pattern": self.pattern,
+                "ns_per_access": pattern_ns_per_access(out),
+                "ranks": len(out)}
+
+
 _REGISTRY = {
     PingScenario.name: PingScenario,
     MixedScenario.name: MixedScenario,
     SyncScenario.name: SyncScenario,
     ChaosScenario.name: ChaosScenario,
+    GraphScenario.name: GraphScenario,
+    HashScenario.name: HashScenario,
+    PatternScenario.name: PatternScenario,
 }
 
 

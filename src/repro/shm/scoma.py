@@ -28,10 +28,13 @@ class ScomaRegion:
     def __init__(self, machine: "StarTVoyager", n_lines: Optional[int] = None
                  ) -> None:
         self.machine = machine
-        node0 = machine.node(0)
+        # any local node board works: the window layout is identical on
+        # every node (a sharded sub-machine may not own node 0)
+        ref = next(n for n in machine.nodes if n is not None)
         self.line_bytes = machine.config.bus.line_bytes
-        self.base = node0.scoma_base
-        total_lines = node0.niu.cls.n_lines
+        self.base = ref.scoma_base
+        self._home_of = ref.sp.state["scoma"].home_of
+        total_lines = ref.niu.cls.n_lines
         self.n_lines = n_lines if n_lines is not None else total_lines
         if self.n_lines > total_lines:
             raise ProgramError(
@@ -58,8 +61,7 @@ class ScomaRegion:
 
     def home_of(self, offset: int) -> int:
         """Home node of the line containing ``offset``."""
-        sp = self.machine.node(0).sp
-        return sp.state["scoma"].home_of[self.line_of(offset)]
+        return self._home_of[self.line_of(offset)]
 
     # -- initialization -----------------------------------------------------
 
@@ -67,7 +69,9 @@ class ScomaRegion:
         """Pre-load region contents at the homes (untimed setup).
 
         Writes each line's bytes into its *home* frame; other nodes start
-        INVALID, exactly the protocol's initial condition.
+        INVALID, exactly the protocol's initial condition.  On a sharded
+        sub-machine only locally-owned homes are written — every shard
+        calling with the same arguments covers the whole region.
         """
         line_bytes = self.line_bytes
         start_line = self.line_of(offset)
@@ -77,6 +81,8 @@ class ScomaRegion:
             line = start_line + i
             home = self.home_of(line * line_bytes)
             node = self.machine.node(home)
+            if node is None:
+                continue
             node.dram.poke(self.addr(line * line_bytes),
                            data[i * line_bytes : (i + 1) * line_bytes])
 
@@ -90,11 +96,20 @@ class ScomaRegion:
         is any send-capable BasicPort on the caller's node.
         """
         from repro.firmware.scoma import pack_evict_req
-        from repro.niu.niu import SP_SERVICE_QUEUE, vdst_for
+        from repro.niu.niu import (
+            SP_SERVICE_QUEUE,
+            needs_raw_addressing,
+            vdst_for,
+        )
 
         line_offset = (offset // self.line_bytes) * self.line_bytes
-        yield from port.send(api, vdst_for(api.node_id, SP_SERVICE_QUEUE),
-                             pack_evict_req(line_offset))
+        if needs_raw_addressing(self.machine.config.n_nodes):
+            yield from port.send(api, api.node_id,
+                                 pack_evict_req(line_offset), raw=True,
+                                 dst_queue=SP_SERVICE_QUEUE)
+        else:
+            yield from port.send(api, vdst_for(api.node_id, SP_SERVICE_QUEUE),
+                                 pack_evict_req(line_offset))
 
     # -- state inspection (testing) ----------------------------------------------
 

@@ -119,3 +119,79 @@ def test_construction_validation():
         ClsSram(0x1000, 0, 32)
     with pytest.raises(ConfigError):
         ClsSram(0x1001, 4, 32)
+
+
+# ----------------------------------------------------------------------
+# the protocol cause envelopes (repro.coherence.protocol.CACHE_TABLE)
+# ----------------------------------------------------------------------
+
+from repro.coherence.protocol import (
+    CACHE_TABLE,
+    l2_snoop_reaction,
+    cache_transition_legal,
+)
+
+
+def test_cause_envelopes_legal_paths():
+    assert cache_transition_legal("grant", CLS_PENDING, CLS_RO)
+    assert cache_transition_legal("grant", CLS_PENDING, CLS_RW)
+    assert cache_transition_legal("downgrade", CLS_RW, CLS_RO)
+    assert cache_transition_legal("inv", CLS_RO, CLS_INVALID)
+    assert cache_transition_legal("relinquish", CLS_RW, CLS_INVALID)
+    assert cache_transition_legal("wb_install", CLS_INVALID, CLS_RO)
+    assert cache_transition_legal("evict", CLS_RW, CLS_INVALID)
+    assert cache_transition_legal("settle", CLS_PENDING, CLS_RW)
+
+
+def test_cause_envelopes_reject_offtable():
+    # an invalidation may never produce a readable copy
+    assert not cache_transition_legal("inv", CLS_RO, CLS_RW)
+    # only the exclusive owner can downgrade
+    assert not cache_transition_legal("downgrade", CLS_RO, CLS_RO)
+    # recalled data re-validates the home read-only, never exclusive
+    assert not cache_transition_legal("wb_install", CLS_INVALID, CLS_RW)
+
+
+def test_cause_envelopes_unknown_cause_is_a_bug():
+    with pytest.raises(KeyError):
+        cache_transition_legal("made_up_cause", CLS_RO, CLS_INVALID)
+
+
+def test_cause_envelopes_ignore_offprotocol_states():
+    # experimental 4-bit values outside MSI are not audited
+    assert cache_transition_legal("inv", 0x7, 0x9)
+
+
+def test_every_cause_envelope_nonempty():
+    for cause, (legal_old, legal_new) in CACHE_TABLE.items():
+        assert legal_old and legal_new, cause
+
+
+def test_l2_snoop_table_matches_msi():
+    # a foreign read demotes Modified to Shared, pushing the dirty line
+    reaction = l2_snoop_reaction("M", BusOpType.READ_LINE)
+    assert reaction.push and reaction.next_state == "S"
+    # a KILL drops the line without writeback (the killer owns it now)
+    reaction = l2_snoop_reaction("M", BusOpType.KILL)
+    assert not reaction.push and reaction.next_state == "I"
+    # Shared lines never push
+    reaction = l2_snoop_reaction("S", BusOpType.RWITM)
+    assert not reaction.push and reaction.next_state == "I"
+    # no reaction for unrelated pairs
+    assert l2_snoop_reaction("S", BusOpType.READ) is None
+
+
+def test_sanitizer_rejects_illegal_cause_transition():
+    """A cause-tagged clsSRAM write outside its envelope is a protocol
+    violation the coherence sanitizer must flag."""
+    import repro
+    from repro.common.errors import SanitizerError
+
+    cfg = repro.default_config(n_nodes=2)
+    cfg.sanitize = "coherence"
+    m = repro.StarTVoyager(cfg)
+    cls = m.node(0).niu.cls
+    with pytest.raises(SanitizerError):
+        cls.set_state(0, CLS_RW, cause="inv")
+    with pytest.raises(SanitizerError):
+        cls.set_state(1, CLS_RO, cause="no_such_cause")

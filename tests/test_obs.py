@@ -181,7 +181,7 @@ def test_metrics_snapshot_schema(m2):
     _pingpong(m2)
     snap = metrics_snapshot(m2)
     assert snap["schema"] == "startv.metrics"
-    assert snap["schema_version"] == 2
+    assert snap["schema_version"] == 3
     assert snap["n_nodes"] == 2
     assert snap["shards"] == 1
     assert snap["sim"]["events_executed"] > 0
@@ -190,6 +190,13 @@ def test_metrics_snapshot_schema(m2):
     for key in ("n", "mean", "min", "max", "p50", "p90", "p99", "stddev"):
         assert key in lat
     assert set(snap["occupancy"]) == {"0", "1"}
+    # v3: the directory section always exists; a messaging-only run has
+    # zero protocol traffic and no sharer-occupancy samples
+    directory = snap["directory"]
+    assert directory["invalidations_sent"] == 0
+    assert directory["forwards"] == 0
+    assert directory["ack_rounds"] == 0
+    assert directory["sharer_occupancy"] is None
     json.dumps(snap)  # JSON-clean without coercion
 
 
