@@ -42,8 +42,15 @@ from repro.sync import (
     TicketLock,
     WorkDeque,
 )
+from repro.traffic import (
+    KvClient,
+    SloRecorder,
+    TrainJob,
+    UsvcClient,
+    make_kv_trace,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: ``run_scenario`` under its front-door name: ``repro.run(...)``.
 run = run_scenario
@@ -68,6 +75,12 @@ __all__ = [
     "SpStall",
     # programming layers
     "MiniMPI",
+    # serving-traffic applications
+    "KvClient",
+    "TrainJob",
+    "UsvcClient",
+    "SloRecorder",
+    "make_kv_trace",
     # synchronization primitives
     "SyncFabric",
     "SyncGroup",

@@ -96,6 +96,9 @@ _LAYER_RULES: Dict[str, Tuple[str, Set[str]]] = {
     # user-level shared memory speaks to firmware through messages, not
     # by reaching into the fabric
     "shm": ("deny", {"net"}),
+    # the serving applications are clients of the messaging layers; they
+    # must not reach into the fabric either
+    "traffic": ("deny", {"net"}),
 }
 
 #: the curated public surface (ARCH002): what user-facing code —
@@ -107,7 +110,7 @@ _LAYER_RULES: Dict[str, Tuple[str, Set[str]]] = {
 _PUBLIC_PREFIXES: Tuple[str, ...] = (
     "repro.analysis", "repro.bench", "repro.coherence", "repro.common",
     "repro.faults", "repro.lib", "repro.mp", "repro.obs", "repro.shard",
-    "repro.shm", "repro.sync",
+    "repro.shm", "repro.sync", "repro.traffic",
 )
 _PUBLIC_EXACT: Tuple[str, ...] = (
     "repro", "repro.core.blocktransfer", "repro.core.inspect",
@@ -134,6 +137,8 @@ HOT_CLASSES: Dict[Tuple[str, ...], Set[str]] = {
     ("coherence", "directory.py"): {"DirectoryController", "DirEntry"},
     ("faults", "inject.py"): {"LinkFaultState"},
     ("firmware", "reliable.py"): {"_Flow"},
+    ("traffic", "firmware.py"): {"TrafficState"},
+    ("traffic", "slo.py"): {"SloRecorder"},
 }
 
 

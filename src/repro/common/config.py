@@ -354,6 +354,21 @@ class FirmwareCostConfig:
     #: repro.sync work-stealing deque: one push/pop/steal served by the
     #: owning sP.
     sync_deque_insns: int = 60
+    #: repro.traffic KV store: serve one get/put (decode, hash-table
+    #: probe or install, compose reply).
+    kv_op_insns: int = 90
+    #: repro.traffic KV store: per-key scan cost of a range request, on
+    #: top of the base op cost.
+    kv_range_per_key_insns: int = 25
+    #: repro.traffic parameter server: fold one pushed gradient into a
+    #: block accumulator.
+    ps_push_insns: int = 60
+    #: repro.traffic parameter server: apply the folded gradient and
+    #: compose the per-contributor replies once a block's step is full.
+    ps_apply_insns: int = 80
+    #: repro.traffic microservice: fixed dispatch overhead of one stage
+    #: (the request's own per-stage service time rides in the message).
+    usvc_dispatch_insns: int = 50
 
     def validate(self) -> None:
         for f in dataclasses.fields(self):

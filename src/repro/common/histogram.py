@@ -125,6 +125,26 @@ class Histogram:
         """99th-percentile estimate."""
         return self.percentile(99.0)
 
+    @property
+    def p999(self) -> float:
+        """99.9th-percentile estimate (the SLO-reporting tail)."""
+        return self.percentile(99.9)
+
+    def percentiles(self) -> Dict[str, float]:
+        """The standard latency-reporting quantile set, max included.
+
+        SLO dashboards read the deep tail: p99 alone hides the worst
+        0.1% of requests, so the set runs p50/p90/p99/p99.9 plus the
+        exact observed maximum.
+        """
+        return {
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "p999": self.p999,
+            "max": self.max if self.n else 0.0,
+        }
+
     def buckets(self) -> Iterator[Tuple[float, float, int]]:
         """Yield ``(lo, hi, count)`` for every occupied bucket, ascending."""
         for idx in sorted(self._counts):
@@ -142,6 +162,7 @@ class Histogram:
             "p50": self.p50,
             "p90": self.p90,
             "p99": self.p99,
+            "p999": self.p999,
         }
         if include_buckets:
             rows: List[List[float]] = [[lo, hi, c] for lo, hi, c in self.buckets()]

@@ -22,7 +22,8 @@ key                   contents
                       must strip ``sim.wall``
 ``counters``          flat name -> int (monotonic event counts)
 ``accumulators``      name -> {n, mean, min, max, total, stddev,
-                      p50, p90, p99} (percentiles from the log-bucketed
+                      p50, p90, p99, p999} (percentiles from the
+                      log-bucketed
                       :class:`~repro.common.histogram.Histogram`).  Values
                       come from per-scope partials folded in sorted-scope
                       order (:meth:`StatsRegistry.merged_accumulators`),
@@ -33,6 +34,11 @@ key                   contents
                       (invalidations sent, data forwards, ack round-trips,
                       dup/stale drops) plus the sharer-set occupancy
                       histogram sampled at every read grant
+``traffic``           per-application serving-traffic SLO rollup (one
+                      entry per :mod:`repro.traffic` application that
+                      ran: offered / completed / SLO-violation request
+                      totals, goodput = within-SLO fraction of offered,
+                      and the request-latency accumulator row)
 ``config``            flat machine configuration (``MachineConfig.describe``)
 ====================  =====================================================
 
@@ -41,7 +47,8 @@ Extra keys may appear next to these (benchmarks add ``benchmark``/
 
 Version history: v1 had no ``shards`` key and snapshotted accumulators in
 raw insertion order; v2 adds ``shards`` and the canonical scope-merged
-accumulator fold; v3 adds the ``directory`` section.
+accumulator fold; v3 adds the ``directory`` section; v4 adds ``p999``
+to every accumulator row and the ``traffic`` SLO section.
 """
 
 from __future__ import annotations
@@ -57,7 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: current layout version of the snapshot dict below.
 METRICS_SCHEMA = "startv.metrics"
-METRICS_SCHEMA_VERSION = 3
+METRICS_SCHEMA_VERSION = 4
 
 #: directory-protocol counters (per-node firmware counter suffix ->
 #: snapshot key); the ``directory`` section sums them cluster-wide.
@@ -74,6 +81,12 @@ _DIRECTORY_COUNTERS = (
 #: the sharer-occupancy accumulator (shard-invariant scoped name).
 _SHARER_OCCUPANCY = "scoma.sharer_occupancy"
 
+#: serving-traffic applications (:mod:`repro.traffic`) the ``traffic``
+#: section rolls up, and the per-node request counters it sums.  Counter
+#: names follow ``traffic.<app>.n<node>.<key>``.
+_TRAFFIC_APPS = ("kv", "ps", "usvc")
+_TRAFFIC_KEYS = ("offered", "completed", "slo_violations")
+
 
 def _directory_section(counters: Dict[str, int],
                        accumulator_rows: Dict[str, Any]) -> Dict[str, Any]:
@@ -84,6 +97,34 @@ def _directory_section(counters: Dict[str, int],
         section[key] = sum(value for name, value in counters.items()
                            if name.endswith(dotted))
     section["sharer_occupancy"] = accumulator_rows.get(_SHARER_OCCUPANCY)
+    return section
+
+
+def _traffic_section(counters: Dict[str, int],
+                     accumulator_rows: Dict[str, Any]) -> Dict[str, Any]:
+    """Cluster-wide SLO rollup per serving-traffic application.
+
+    Goodput is the within-SLO fraction of *offered* load — a drained
+    simulation completes every request eventually, so raw completion
+    never shows the overload knee; the SLO cutoff does.
+    """
+    section: Dict[str, Any] = {}
+    for app in _TRAFFIC_APPS:
+        prefix = f"traffic.{app}."
+        totals: Dict[str, Any] = {}
+        for key in _TRAFFIC_KEYS:
+            dotted = "." + key
+            totals[key] = sum(
+                value for name, value in counters.items()
+                if name.startswith(prefix) and name.endswith(dotted))
+        if not any(totals.values()):
+            continue  # the application did not run on this machine
+        offered = totals["offered"]
+        within = totals["completed"] - totals["slo_violations"]
+        totals["goodput"] = within / offered if offered else 0.0
+        totals["latency_ns"] = accumulator_rows.get(
+            f"traffic.{app}.latency_ns")
+        section[app] = totals
     return section
 
 
@@ -129,6 +170,7 @@ def metrics_snapshot(machine: "StarTVoyager",
             for node in machine.nodes if node is not None
         },
         "directory": _directory_section(counters, accumulators),
+        "traffic": _traffic_section(counters, accumulators),
     }
     if include_config:
         snapshot["config"] = machine.config.describe()
@@ -228,6 +270,7 @@ def merge_shard_exports(exports: Sequence[Dict[str, Any]],
         "busy_ns": dict(sorted(busy.items())),
         "occupancy": dict(sorted(occupancy.items(), key=lambda kv: int(kv[0]))),
         "directory": _directory_section(counter_rows, accumulator_rows),
+        "traffic": _traffic_section(counter_rows, accumulator_rows),
     }
     if config is not None:
         snapshot["config"] = config.describe()

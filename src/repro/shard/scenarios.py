@@ -25,6 +25,11 @@ benchmark share:
            region (the directory-coherence workload; shards=1 only).
 ``shm_hash``   striped-lock shared hash table: every rank inserts,
            then looks its keys back up (shards=1 only).
+
+The production-traffic scenarios (``traffic_kv``, ``traffic_train``,
+``traffic_usvc`` — see :mod:`repro.traffic.scenarios`) register here
+lazily, so ``scenario("traffic_kv")`` works everywhere without this
+module importing the traffic package at import time.
 """
 
 from __future__ import annotations
@@ -435,8 +440,20 @@ _REGISTRY = {
 }
 
 
+def _ensure_traffic_scenarios() -> None:
+    """Merge the traffic scenarios in on first lookup (lazy: the traffic
+    package imports ShardScenario from here, so an eager import would be
+    circular)."""
+    if "traffic_kv" in _REGISTRY:
+        return
+    from repro.traffic.scenarios import TRAFFIC_SCENARIOS
+
+    _REGISTRY.update(TRAFFIC_SCENARIOS)
+
+
 def scenario(name: str, **kwargs: Any) -> ShardScenario:
     """Instantiate a registered scenario by name."""
+    _ensure_traffic_scenarios()
     try:
         cls = _REGISTRY[name]
     except KeyError:
@@ -447,4 +464,5 @@ def scenario(name: str, **kwargs: Any) -> ShardScenario:
 
 
 def scenario_names() -> List[str]:
+    _ensure_traffic_scenarios()
     return sorted(_REGISTRY)

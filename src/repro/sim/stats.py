@@ -140,6 +140,11 @@ class Accumulator:
         """99th-percentile estimate."""
         return self.hist.p99
 
+    @property
+    def p999(self) -> float:
+        """99.9th-percentile estimate (SLO tail)."""
+        return self.hist.p999
+
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"Accumulator({self.name}: n={self.n} mean={self.mean:.2f} "
@@ -287,10 +292,11 @@ class StatsRegistry:
         * ``mean.<name>``, ``min.<name>``, ``max.<name>``,
           ``total.<name>`` — accumulator sample statistics (only when
           ``n > 0``; an empty accumulator has no meaningful extremes);
+        * ``p50.<name>``, ``p99.<name>``, ``p999.<name>`` — latency
+          quantiles from the riding histogram (SLO reporting needs the
+          deep tail, so the set runs down to p99.9; ``max.<name>`` is
+          the exact observed worst case);
         * ``busy_ns.<name>`` — busy-tracker accumulated busy time.
-
-        Percentiles live in the richer :func:`repro.obs.metrics_snapshot`
-        schema, not in this flat view.
         """
         out: Dict[str, float] = {}
         for name, c in sorted(self._counters.items()):
@@ -302,6 +308,9 @@ class StatsRegistry:
                 out[f"min.{name}"] = a.min
                 out[f"max.{name}"] = a.max
                 out[f"total.{name}"] = a.total
+                out[f"p50.{name}"] = a.p50
+                out[f"p99.{name}"] = a.p99
+                out[f"p999.{name}"] = a.p999
         for name, b in sorted(self._busy.items()):
             out[f"busy_ns.{name}"] = b.current()
         return out

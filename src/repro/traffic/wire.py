@@ -1,0 +1,160 @@
+"""Traffic wire formats: application messages above ``MSG_USER``.
+
+The serving applications speak the same sP-firmware dialect as the
+platform protocols (type byte first, big-endian fixed-width fields,
+everything inside the 88-byte Basic payload cap — and inside the
+84-byte reliable-segment cap, so every request can also ride
+``reliable=True``).  Type values start at ``MSG_USER``, the first
+value :mod:`repro.firmware.proto` leaves free for applications.
+
+A deliberate trick: a KV PUT's value is always *the trailing bytes* of
+the delivered payload.  The Basic transport packs the value inline, and
+the TagOn transport attaches it at the NIU — which appends it to the
+delivered payload in exactly the same place.  The server-side handler
+is therefore byte-for-byte identical for both transports; only the
+client changes.  The DMA transport sends the value out of band
+(``dma_write`` into a server staging buffer) and follows with a
+by-reference PUT carrying ``(addr, length)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common.errors import FirmwareError
+from repro.firmware.proto import MSG_USER, _addr6
+
+# message types ---------------------------------------------------------------
+MSG_KV_REQ = MSG_USER  #: client -> server sP: get/put/range (value trailing)
+MSG_KV_REP = MSG_USER + 1  #: server sP -> client: status + value bytes
+MSG_PS_PUSH = MSG_USER + 2  #: worker -> parameter server sP: gradient push
+MSG_PS_REP = MSG_USER + 3  #: parameter server sP -> worker: updated weight
+MSG_USVC_REQ = MSG_USER + 4  #: parent -> child sP: fan-out stage request
+MSG_USVC_REP = MSG_USER + 5  #: child sP -> parent: stage complete
+MSG_KV_PUTREF = MSG_USER + 6  #: client -> server sP: PUT by DMA reference
+
+# KV operations (the ``op`` byte of ``MSG_KV_REQ``).
+KV_GET = 0
+KV_PUT = 1
+KV_RANGE = 2
+
+# KV reply status byte.
+KV_OK = 0
+KV_MISS = 1
+
+
+def pack_kv_req(op: int, reply_queue: int, origin: int, req_id: int,
+                key: int, count: int = 0, value: bytes = b"") -> bytes:
+    """KV request; for ``KV_PUT`` the value rides as the trailing bytes
+    (inline) or as a TagOn attachment (delivered to the same place)."""
+    return (bytes([MSG_KV_REQ, op, reply_queue])
+            + origin.to_bytes(2, "big") + req_id.to_bytes(4, "big")
+            + key.to_bytes(4, "big") + count.to_bytes(2, "big") + value)
+
+
+def unpack_kv_req(p: bytes) -> Tuple[int, int, int, int, int, int, bytes]:
+    """Returns (op, reply_queue, origin, req_id, key, count, value)."""
+    if p[0] != MSG_KV_REQ or len(p) < 13:
+        raise FirmwareError(f"not a KV request: {p!r}")
+    return (p[1], p[2], int.from_bytes(p[3:5], "big"),
+            int.from_bytes(p[5:9], "big"), int.from_bytes(p[9:13], "big"),
+            int.from_bytes(p[13:15], "big"), p[15:])
+
+
+def pack_kv_rep(status: int, req_id: int, value: bytes = b"") -> bytes:
+    """KV reply: status, echoed request id, value bytes (GET/RANGE)."""
+    return (bytes([MSG_KV_REP, status]) + req_id.to_bytes(4, "big") + value)
+
+
+def unpack_kv_rep(p: bytes) -> Tuple[int, int, bytes]:
+    """Returns (status, req_id, value)."""
+    if p[0] != MSG_KV_REP or len(p) < 6:
+        raise FirmwareError(f"not a KV reply: {p!r}")
+    return p[1], int.from_bytes(p[2:6], "big"), p[6:]
+
+
+def pack_kv_putref(reply_queue: int, origin: int, req_id: int, key: int,
+                   addr: int, length: int) -> bytes:
+    """PUT by reference: the value already sits at ``addr`` in the
+    server's DRAM (staged there by a client DMA)."""
+    return (bytes([MSG_KV_PUTREF, 0, reply_queue])
+            + origin.to_bytes(2, "big") + req_id.to_bytes(4, "big")
+            + key.to_bytes(4, "big") + _addr6(addr)
+            + length.to_bytes(4, "big"))
+
+
+def unpack_kv_putref(p: bytes) -> Tuple[int, int, int, int, int, int]:
+    """Returns (reply_queue, origin, req_id, key, addr, length)."""
+    if p[0] != MSG_KV_PUTREF or len(p) < 23:
+        raise FirmwareError(f"not a KV put-by-reference: {p!r}")
+    return (p[2], int.from_bytes(p[3:5], "big"),
+            int.from_bytes(p[5:9], "big"), int.from_bytes(p[9:13], "big"),
+            int.from_bytes(p[13:19], "big"), int.from_bytes(p[19:23], "big"))
+
+
+def pack_ps_push(reply_queue: int, origin: int, step: int, block: int,
+                 n_workers: int, grad: int) -> bytes:
+    """Worker gradient push for one parameter block of one step."""
+    return (bytes([MSG_PS_PUSH, reply_queue]) + origin.to_bytes(2, "big")
+            + step.to_bytes(4, "big") + block.to_bytes(4, "big")
+            + n_workers.to_bytes(2, "big")
+            + grad.to_bytes(8, "big", signed=True))
+
+
+def unpack_ps_push(p: bytes) -> Tuple[int, int, int, int, int, int]:
+    """Returns (reply_queue, origin, step, block, n_workers, grad)."""
+    if p[0] != MSG_PS_PUSH or len(p) < 22:
+        raise FirmwareError(f"not a PS push: {p!r}")
+    return (p[1], int.from_bytes(p[2:4], "big"),
+            int.from_bytes(p[4:8], "big"), int.from_bytes(p[8:12], "big"),
+            int.from_bytes(p[12:14], "big"),
+            int.from_bytes(p[14:22], "big", signed=True))
+
+
+def pack_ps_rep(step: int, block: int, weight: int) -> bytes:
+    """Parameter-server broadcast of the updated weight to one worker."""
+    return (bytes([MSG_PS_REP, 0]) + step.to_bytes(4, "big")
+            + block.to_bytes(4, "big")
+            + weight.to_bytes(8, "big", signed=True))
+
+
+def unpack_ps_rep(p: bytes) -> Tuple[int, int, int]:
+    """Returns (step, block, weight)."""
+    if p[0] != MSG_PS_REP or len(p) < 18:
+        raise FirmwareError(f"not a PS reply: {p!r}")
+    return (int.from_bytes(p[2:6], "big"), int.from_bytes(p[6:10], "big"),
+            int.from_bytes(p[10:18], "big", signed=True))
+
+
+def pack_usvc_req(depth: int, fanout: int, reply_queue: int, origin: int,
+                  ctx: int, svc_insns: int) -> bytes:
+    """Fan-out stage request.
+
+    ``ctx`` is an opaque token the replier echoes back: the client sets
+    it to its request id; an interior sP sets it to a locally unique
+    pending-table key before forwarding to its children, so a node that
+    appears twice in one request's tree never confuses the replies.
+    """
+    return (bytes([MSG_USVC_REQ, depth, fanout, reply_queue])
+            + origin.to_bytes(2, "big") + ctx.to_bytes(4, "big")
+            + svc_insns.to_bytes(4, "big"))
+
+
+def unpack_usvc_req(p: bytes) -> Tuple[int, int, int, int, int, int]:
+    """Returns (depth, fanout, reply_queue, origin, ctx, svc_insns)."""
+    if p[0] != MSG_USVC_REQ or len(p) < 14:
+        raise FirmwareError(f"not a microservice request: {p!r}")
+    return (p[1], p[2], p[3], int.from_bytes(p[4:6], "big"),
+            int.from_bytes(p[6:10], "big"), int.from_bytes(p[10:14], "big"))
+
+
+def pack_usvc_rep(ctx: int) -> bytes:
+    """Stage-complete reply carrying the echoed context token."""
+    return bytes([MSG_USVC_REP, 0]) + ctx.to_bytes(4, "big")
+
+
+def unpack_usvc_rep(p: bytes) -> int:
+    """Returns the echoed context token."""
+    if p[0] != MSG_USVC_REP or len(p) < 6:
+        raise FirmwareError(f"not a microservice reply: {p!r}")
+    return int.from_bytes(p[2:6], "big")

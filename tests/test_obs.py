@@ -181,14 +181,18 @@ def test_metrics_snapshot_schema(m2):
     _pingpong(m2)
     snap = metrics_snapshot(m2)
     assert snap["schema"] == "startv.metrics"
-    assert snap["schema_version"] == 3
+    assert snap["schema_version"] == 4
     assert snap["n_nodes"] == 2
     assert snap["shards"] == 1
     assert snap["sim"]["events_executed"] > 0
     assert snap["counters"]["ctrl0.msgs_sent"] >= 6
     lat = snap["accumulators"]["net.latency_ns"]
-    for key in ("n", "mean", "min", "max", "p50", "p90", "p99", "stddev"):
+    for key in ("n", "mean", "min", "max", "p50", "p90", "p99", "p999",
+                "stddev"):
         assert key in lat
+    # v4: the traffic SLO section exists and is empty when no
+    # repro.traffic application ran
+    assert snap["traffic"] == {}
     assert set(snap["occupancy"]) == {"0", "1"}
     # v3: the directory section always exists; a messaging-only run has
     # zero protocol traffic and no sharer-occupancy samples
