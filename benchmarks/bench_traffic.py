@@ -181,12 +181,61 @@ def _flags(parser):
                         help="low-load KV goodput gate (default 0.99)")
     parser.add_argument("--skip-parity", action="store_true",
                         help="skip the shards/jobs determinism re-runs")
+    parser.add_argument("--trace-in", default=None, metavar="FILE",
+                        help="replay a recorded KV trace (JSON lines from "
+                             "repro.traffic.dump_trace) instead of sweeping "
+                             "the offered-load axis")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="output JSON path (default BENCH_traffic.json "
                              "at the repo root)")
 
 
+def replay_trace_in(args):
+    """``--trace-in``: run one KV point that replays a recorded trace
+    (JSON lines from :func:`repro.traffic.dump_trace`) instead of
+    sweeping the offered-load axis.  The same request schedule, byte for
+    byte, drives the machine — the row a bug report or an explorer
+    witness pins down is reproducible by anyone holding the file."""
+    from repro.traffic import load_trace
+
+    with open(args.trace_in, "r", encoding="utf-8") as fh:
+        records = load_trace(fh.read())
+    spec = ("traffic_kv",
+            {"transport": args.transport, "reliable": args.reliable,
+             "trace": records},
+            args.nodes, max(args.shards, 1), args.seed, args.sanitize)
+    point = traffic_point(spec)
+    t = point["traffic"].get("kv", {})
+    lat = t.get("latency_ns") or {}
+    print_table(
+        f"X-traffic: replay of {os.path.basename(args.trace_in)} "
+        f"({len(records)} requests) @ {args.nodes} nodes",
+        KV_HEADER[1:],
+        [[t.get("offered", 0), t.get("goodput", 0.0),
+          round(lat.get("p50", 0.0)), round(lat.get("p99", 0.0)),
+          round(lat.get("p999", 0.0)), round(lat.get("max", 0.0))]])
+    document = {
+        "benchmark": "traffic",
+        "schema": "startv.metrics",
+        "schema_version": 1,
+        "n_nodes": args.nodes,
+        "transport": args.transport,
+        "trace_in": os.path.basename(args.trace_in),
+        "trace_requests": len(records),
+        "replay_point": {k: v for k, v in point.items() if k != "snapshot"},
+    }
+    path = emit_json(args.json or args.out, document)
+    print(f"results: {path}")
+    if t.get("completed") != t.get("offered") or not t.get("offered"):
+        print(f"FAIL: replay completed {t.get('completed')} of "
+              f"{t.get('offered')} offered", file=sys.stderr)
+        return 1
+    return 0
+
+
 def run(args):
+    if args.trace_in:
+        return replay_trace_in(args)
     args.rates = (DEFAULT_RATES if not args.rates else
                   tuple(sorted(float(tok) for tok in
                                str(args.rates).replace(",", " ").split())))

@@ -3,7 +3,7 @@
 Two halves, one goal — keeping the simulator's results trustworthy:
 
 * :mod:`repro.analysis.lint` — a project-specific AST lint pass
-  (determinism rules DET001–DET004, layering rule ARCH001, hot-path
+  (determinism rules DET001–DET005, layering rule ARCH001, hot-path
   ``__slots__`` rule PERF001), runnable as
   ``python -m repro.analysis lint [--json] PATH...``;
 * :mod:`repro.analysis.sanitize` — pluggable runtime invariant

@@ -16,6 +16,11 @@ DET003   iteration over a ``set``/``frozenset`` value in simulation
          code (nondeterministic order; ``sorted(s)`` is fine)
 DET004   ``id()``-derived ordering or dict keys (address-dependent,
          differs run to run)
+DET005   ``heappush`` of a ``(priority, ...)`` tuple with no sequence
+         tie-breaker — equal priorities then compare the payloads,
+         which is either a crash (unorderable types) or an
+         address-dependent order; only ``sim/engine.py`` (whose heap
+         discipline the schedule-policy hook audits) is exempt
 ARCH001  layering violation: ``sim/`` imports only ``sim``/``common``;
          ``net/`` never imports ``niu``/``firmware``; ``mem/`` never
          imports ``mp``/``shm``
@@ -50,6 +55,7 @@ RULES: Dict[str, str] = {
     "DET002": "module-level (unseeded) random use",
     "DET003": "iteration over a set/frozenset (nondeterministic order)",
     "DET004": "id()-derived ordering or dict key",
+    "DET005": "heap push of a priority tuple without a seq tie-breaker",
     "ARCH001": "import violates the layering rules",
     "ARCH002": "examples/benchmarks must import the public surface only",
     "PERF001": "hot-path class must declare __slots__",
@@ -109,8 +115,8 @@ _LAYER_RULES: Dict[str, Tuple[str, Set[str]]] = {
 #: one documents why with ``# repro: allow ARCH002 -- reason``.
 _PUBLIC_PREFIXES: Tuple[str, ...] = (
     "repro.analysis", "repro.bench", "repro.coherence", "repro.common",
-    "repro.faults", "repro.lib", "repro.mp", "repro.obs", "repro.shard",
-    "repro.shm", "repro.sync", "repro.traffic",
+    "repro.explore", "repro.faults", "repro.lib", "repro.mp", "repro.obs",
+    "repro.shard", "repro.shm", "repro.sync", "repro.traffic",
 )
 _PUBLIC_EXACT: Tuple[str, ...] = (
     "repro", "repro.core.blocktransfer", "repro.core.inspect",
@@ -119,7 +125,8 @@ _PUBLIC_EXACT: Tuple[str, ...] = (
 #: hot-path class registry (PERF001): repro-relative module -> classes
 #: that are allocated or touched on the simulator's inner loops.
 HOT_CLASSES: Dict[Tuple[str, ...], Set[str]] = {
-    ("sim", "engine.py"): {"Engine"},
+    ("sim", "engine.py"): {"Engine", "SchedulePolicy"},
+    ("explore", "policy.py"): {"GuidedPolicy"},
     ("sim", "events.py"): {"Event", "Timeout"},
     ("sim", "process.py"): {"Process"},
     ("sim", "store.py"): {"Store"},
@@ -525,6 +532,60 @@ def _check_id_ordering(tree: ast.AST, path: str) -> List[Violation]:
 
 
 # ----------------------------------------------------------------------
+# DET005 — heap entries need a seq tie-breaker
+# ----------------------------------------------------------------------
+
+_HEAP_PUSH_FNS = frozenset({"heappush", "heappushpop"})
+
+
+def _mentions_seq(node: ast.AST) -> bool:
+    """Whether an expression references a sequence-counter identifier."""
+    for sub in ast.walk(node):
+        ident = None
+        if isinstance(sub, ast.Name):
+            ident = sub.id
+        elif isinstance(sub, ast.Attribute):
+            ident = sub.attr
+        if ident is not None and "seq" in ident.lower():
+            return True
+    return False
+
+
+def _check_heap_ties(tree: ast.AST, path: str) -> List[Violation]:
+    """Flag ``heappush(heap, (priority, payload...))`` with no element
+    naming a sequence counter.  Ties on the priority then compare the
+    payloads: a crash for unorderable types, an address-dependent order
+    otherwise — either way the heap's pop order is not a deterministic
+    function of the push history."""
+    out: List[Violation] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and len(node.args) >= 2):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            continue
+        if name not in _HEAP_PUSH_FNS:
+            continue
+        entry = node.args[1]
+        if not isinstance(entry, ast.Tuple) or len(entry.elts) < 2:
+            continue
+        if any(_mentions_seq(el) for el in entry.elts):
+            continue
+        out.append(Violation(
+            "DET005", path, node.lineno, node.col_offset,
+            "heap entry tuple has no seq tie-breaker: equal priorities "
+            "fall through to comparing the payloads (crash or "
+            "address-dependent order); add a monotonic counter after "
+            "the priority",
+        ))
+    return out
+
+
+# ----------------------------------------------------------------------
 # ARCH001 — layering
 # ----------------------------------------------------------------------
 
@@ -662,6 +723,8 @@ def check_source(source: str, relpath: str) -> List[Violation]:
         violations += _check_layering(tree, relpath, module_parts)
         violations += _check_slots(tree, relpath, module_parts)
     violations += _check_id_ordering(tree, relpath)
+    if module_parts != ("sim", "engine.py"):
+        violations += _check_heap_ties(tree, relpath)
 
     suppressed = _suppressions(source)
     kept = [v for v in violations

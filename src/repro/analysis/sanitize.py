@@ -219,6 +219,13 @@ class CreditSanitizer:
         for lane in self.lanes:
             lane.on_drain()
 
+    def reset(self) -> None:
+        """Zero the activity counters; ``held`` is live machine state
+        (credits still out of the pool) and must survive."""
+        for lane in self.lanes:
+            lane.acquires = 0
+            lane.returns = 0
+
     def report(self) -> Dict[str, int]:
         return {
             "lanes": len(self.lanes),
@@ -365,6 +372,11 @@ class QueueSanitizer:
 
     def on_drain(self) -> None:
         pass
+
+    def reset(self) -> None:
+        self.writes_checked = 0
+        self.rel_tx_checked = 0
+        self.rel_rx_checked = 0
 
     def report(self) -> Dict[str, int]:
         return {
@@ -634,6 +646,14 @@ class CoherenceSanitizer:
                     f"{mirror.waiters} waiter(s) queued"
                 )
 
+    def reset(self) -> None:
+        """Zero the activity counters; the directory mirrors track live
+        protocol state (they must keep pace with the machine) and stay."""
+        self.hw_checked = 0
+        self.fw_checked = 0
+        self.cause_checked = 0
+        self.dir_checked = 0
+
     def report(self) -> Dict[str, int]:
         return {"hw_checked": self.hw_checked, "fw_checked": self.fw_checked,
                 "cause_checked": self.cause_checked,
@@ -717,6 +737,9 @@ class DeadlockWatchdog:
                 f"event queue drained with {len(blocked)} blocked "
                 f"process(es): {names}\n{self.dump()}"
             )
+
+    def reset(self) -> None:
+        self._alive()  # prune finished processes from the registry
 
     def report(self) -> Dict[str, int]:
         return {"tracked": len(self._alive())}
@@ -845,6 +868,18 @@ class CombineSanitizer:
                         f"{stage.outstanding()} slot(s) outstanding"
                     )
 
+    def reset(self) -> None:
+        """Zero counters and drop the slot ledger.  A clean drain leaves
+        ``open``/``records`` empty already; after an *aborted* run they
+        may not be, and carrying them into the next run would charge it
+        with the previous run's wreckage."""
+        self.open.clear()
+        self.records.clear()
+        self.opens = 0
+        self.flushes = 0
+        self.replies = 0
+        self.closes = 0
+
     def report(self) -> Dict[str, int]:
         return {"opens": self.opens, "flushes": self.flushes,
                 "replies": self.replies, "closes": self.closes}
@@ -896,3 +931,21 @@ class SanitizerLayer:
     def report(self) -> Dict[str, Dict[str, int]]:
         """Per-checker activity counters (proof the checkers ran)."""
         return {c.name: c.report() for c in self.checkers}
+
+    def reset(self) -> None:
+        """Re-baseline every checker for an independent follow-up run.
+
+        Activity counters drop to zero; ledgers that mirror *live*
+        machine state (credits out of the pool, directory mirrors) are
+        kept — they must stay in lockstep with the machine they watch.
+        """
+        for checker in self.checkers:
+            checker.reset()
+
+    def oracle_report(self) -> Dict[str, Dict[str, int]]:
+        """The explorer's per-schedule oracle adapter: snapshot every
+        checker's counters, then :meth:`reset` so the next schedule (or
+        any follow-up run on this machine) reports independently."""
+        report = self.report()
+        self.reset()
+        return report

@@ -1,0 +1,70 @@
+"""Behavior models: re-openable historical bugs for regression exploration.
+
+A *behavior model* is a context manager that flips one firmware module
+flag to its pre-fix setting for the duration of an exploration, so the
+explorer can demonstrate that it (still) finds the schedule that broke
+the old code — and that the current code sweeps clean.  Models are
+applied around whole schedule batches; schedules run sequentially
+in-process, so a module-level flag is race-free here.
+
+======================= ==============================================
+model                   re-opened bug
+======================= ==============================================
+``overflow_drop``       PR 7: sP service-queue entries that overflowed
+                        into the miss queue were dropped instead of
+                        redelivered — a simultaneous-arrival barrier
+                        burst hangs; the waiters poll forever, so the
+                        explorer's liveness budget flags the schedule
+``kill_grant``          PR 9: a remote RW grant at a home still holding
+                        the line Modified revoked with a blunt KILL
+                        instead of a FLUSH — stores sitting dirty in
+                        the home's L2 were destroyed (wrong reads)
+======================= ==============================================
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+from typing import Dict, Iterator, Optional
+
+from repro.common.errors import ConfigError
+
+
+@contextlib.contextmanager
+def _flag(module: str, attr: str, value: bool) -> Iterator[None]:
+    mod = importlib.import_module(module)
+    saved = getattr(mod, attr)
+    setattr(mod, attr, value)
+    try:
+        yield
+    finally:
+        setattr(mod, attr, saved)
+
+
+def overflow_drop():
+    """PR 7 pre-fix: drop (don't redeliver) sP-queue overflow bursts."""
+    return _flag("repro.firmware.msg", "REDELIVER_SP_OVERFLOW", False)
+
+
+def kill_grant():
+    """PR 9 pre-fix: grants revoke with KILL, destroying Modified lines."""
+    return _flag("repro.firmware.scoma", "GRANT_PRESERVES_HOME_STORES", False)
+
+
+MODELS: Dict[str, object] = {
+    "overflow_drop": overflow_drop,
+    "kill_grant": kill_grant,
+}
+
+
+def behavior_model(name: Optional[str]):
+    """Resolve a model name (or None) to a context manager instance."""
+    if name is None:
+        return contextlib.nullcontext()
+    try:
+        return MODELS[name]()  # type: ignore[operator]
+    except KeyError:
+        raise ConfigError(
+            f"unknown behavior model {name!r}; known: "
+            f"{', '.join(sorted(MODELS))}") from None

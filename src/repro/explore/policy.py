@@ -1,0 +1,119 @@
+"""The guided schedule policy: replay a choice prefix, record the rest.
+
+:class:`GuidedPolicy` is the single policy class the explorer needs.
+Installed on an engine (``engine.schedule_policy = GuidedPolicy(prefix)``)
+it receives every same-timestamp decision point, takes the prescribed
+choice while the prefix lasts and the canonical choice (index 0 — the
+engine's native seq order) afterwards, and records a
+:class:`Decision` per point:
+
+* which alternatives are worth branching to under partial-order
+  reduction (an index ``i > 0`` only if ``ready[i]`` conflicts with
+  some earlier ``ready[j < i]`` — commuting neighbours are *pruned*),
+* a state hash for the DFS driver's visited set.  The hash combines an
+  order-insensitive accumulator over the choices made so far with the
+  sorted conflict keys of the current ready set, so two schedules that
+  merely commuted independent events collide and the second expansion
+  is skipped.
+
+The empty prefix is the canonical schedule: every ``choose`` returns 0,
+which executes exactly what the policy-free engine would.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.explore.conflict import (
+    conflict_key,
+    key_token,
+    keys_conflict,
+    stable_hash,
+)
+from repro.sim.engine import ScheduledItem, SchedulePolicy
+
+_HASH_MASK = (1 << 48) - 1
+
+
+class Decision(NamedTuple):
+    """One recorded decision point."""
+
+    time: float          #: simulated instant of the tie group
+    n_ready: int         #: size of the tie group (always >= 2)
+    chosen: int          #: index the policy returned
+    #: POR branch candidates: (index, conflict-key token) pairs
+    branches: Tuple[Tuple[int, str], ...]
+    pruned: int          #: alternatives skipped as commuting
+    state_hash: int      #: visited-set hash *before* this choice
+
+
+class GuidedPolicy(SchedulePolicy):
+    """Follow ``prefix``, then the canonical order, recording decisions.
+
+    ``horizon_ns`` / ``max_decisions`` bound one schedule in simulated
+    time and decision count: a schedule that blows past either is hung
+    or livelocked (e.g. pollers spinning on a barrier that will never
+    release), and the policy raises :class:`DeadlockError` so the
+    explorer records it as a violating schedule instead of running
+    forever.  Both bounds are far above anything a quiescing scenario
+    reaches, so clean schedules never trip them.
+    """
+
+    __slots__ = ("prefix", "decisions", "horizon_ns", "max_decisions",
+                 "_acc")
+
+    def __init__(self, prefix: Sequence[int] = (),
+                 horizon_ns: Optional[float] = None,
+                 max_decisions: Optional[int] = None):
+        self.prefix: List[int] = list(prefix)
+        self.decisions: List[Decision] = []
+        self.horizon_ns = horizon_ns
+        self.max_decisions = max_decisions
+        self._acc = 0
+
+    def choose(self, time: float, ready: List[ScheduledItem]) -> int:
+        depth = len(self.decisions)
+        if self.horizon_ns is not None and time > self.horizon_ns:
+            raise DeadlockError(
+                f"schedule passed the {self.horizon_ns:.0f}ns exploration "
+                f"horizon without quiescing at decision {depth} — the "
+                f"machine is hung or livelocked")
+        if self.max_decisions is not None and depth >= self.max_decisions:
+            raise DeadlockError(
+                f"schedule hit the {self.max_decisions}-decision budget at "
+                f"t={time:.1f}ns without quiescing — the machine is hung "
+                f"or livelocked")
+        if depth < len(self.prefix):
+            choice = self.prefix[depth]
+            if not 0 <= choice < len(ready):
+                raise SimulationError(
+                    f"schedule trace diverged: decision {depth} prescribes "
+                    f"choice {choice} but only {len(ready)} items are ready "
+                    f"at t={time:.1f}ns (trace from a different build or "
+                    f"scenario?)")
+        else:
+            choice = 0
+        keys = [conflict_key(item) for item in ready]
+        branches = []
+        pruned = 0
+        for i in range(1, len(ready)):
+            if any(keys_conflict(keys[i], keys[j]) for j in range(i)):
+                branches.append((i, key_token(keys[i])))
+            else:
+                pruned += 1
+        tokens = tuple(sorted(key_token(k) for k in keys))
+        state_hash = stable_hash((self._acc, time, tokens))
+        self.decisions.append(Decision(
+            time, len(ready), choice, tuple(branches), pruned, state_hash))
+        # order-insensitive: addition commutes, so schedules that execute
+        # the same multiset of (time, key) choices reach the same _acc
+        self._acc = (self._acc + stable_hash(
+            (time, key_token(keys[choice])))) & _HASH_MASK
+        return choice
+
+    @property
+    def schedule_hash(self) -> int:
+        """Order-*sensitive* identity of the executed schedule."""
+        return stable_hash(tuple(
+            (d.time, d.chosen) for d in self.decisions))

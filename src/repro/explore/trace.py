@@ -1,0 +1,77 @@
+"""Schedule traces: JSON documents that pin one explored interleaving.
+
+A trace stores everything needed to re-execute one schedule bit-for-bit
+on a fresh machine: the scenario (name + constructor params), the
+machine shape (nodes, seed, sanitizers), the behavior model in force,
+and the *choice prefix* — the index the policy took at each decision
+point up to the last non-canonical choice (every decision after the
+prefix takes index 0, the engine's native order, so canonical suffixes
+serialize to nothing).
+
+``python -m repro.explore replay <trace.json>`` is the consumer: it
+re-runs the schedule and reports the same verdict the explorer saw, so
+a violating trace is a self-contained, shareable counterexample.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigError
+
+#: format tag; bump on incompatible layout changes.
+TRACE_SCHEMA = "startv.explore_trace/v1"
+
+
+def trace_document(scenario: str, params: Dict[str, Any], n_nodes: int,
+                   seed: int, sanitize: str, model: Optional[str],
+                   choices: Sequence[int],
+                   verdict: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
+    """Assemble a replayable trace document."""
+    doc: Dict[str, Any] = {
+        "schema": TRACE_SCHEMA,
+        "scenario": scenario,
+        "params": dict(params or {}),
+        "n_nodes": n_nodes,
+        "seed": seed,
+        "sanitize": sanitize,
+        "model": model,
+        "choices": list(choices),
+    }
+    if verdict is not None:
+        # advisory: what the producing exploration observed (the replay
+        # recomputes its own verdict and compares)
+        doc["verdict"] = verdict
+    return doc
+
+
+def normalize_choices(choices: Sequence[int]) -> List[int]:
+    """Strip the canonical suffix: trailing 0 choices are implied."""
+    out = list(choices)
+    while out and out[-1] == 0:
+        out.pop()
+    return out
+
+
+def dump_trace(doc: Dict[str, Any]) -> str:
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def parse_trace(text: str) -> Dict[str, Any]:
+    """Parse and validate a trace document."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"not a JSON trace: {exc}") from None
+    if not isinstance(doc, dict) or doc.get("schema") != TRACE_SCHEMA:
+        raise ConfigError(
+            f"not a schedule trace (expected schema {TRACE_SCHEMA!r}, "
+            f"got {doc.get('schema') if isinstance(doc, dict) else doc!r})")
+    for field in ("scenario", "n_nodes", "seed", "choices"):
+        if field not in doc:
+            raise ConfigError(f"trace missing required field {field!r}")
+    if not all(isinstance(c, int) and c >= 0 for c in doc["choices"]):
+        raise ConfigError("trace choices must be non-negative integers")
+    return doc

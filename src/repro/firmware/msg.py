@@ -36,6 +36,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
 RING_HEADER_BYTES = 64
 
+#: Behavior-model switch for the interleaving explorer
+#: (:mod:`repro.explore.models`, model ``"overflow_drop"``).  When
+#: False, entries of an sP-owned (interrupt-dispatched) queue that
+#: overflowed into the miss queue are *dropped* instead of redelivered
+#: to their message handler — the pre-fix behavior whose barrier hang
+#: the explorer re-finds as a regression.  Always True in normal runs.
+REDELIVER_SP_OVERFLOW = True
+
 
 @dataclass
 class DramRing:
@@ -83,7 +91,8 @@ def missq_service(sp: "ServiceProcessor", event: Tuple
             # the rxmsg dispatcher would have.
             slot = ctrl.rx_cache.resident().get(logical)
             q = ctrl.rx_queues[slot] if slot is not None else None
-            if (q is not None and q.interrupt_on_arrival
+            if (REDELIVER_SP_OVERFLOW
+                    and q is not None and q.interrupt_on_arrival
                     and logical not in specials and payload
                     and payload[0] in handlers):
                 ctrl.stats.counter(f"{ctrl.name}.missq_redelivered").incr()

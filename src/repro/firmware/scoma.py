@@ -77,6 +77,15 @@ if TYPE_CHECKING:  # pragma: no cover
 from repro.coherence.protocol import BUSY, EXCLUSIVE, HOME_VALID  # noqa: F401
 from repro.coherence.directory import DirEntry  # noqa: F401
 
+#: Behavior-model switch for the interleaving explorer
+#: (:mod:`repro.explore.models`, model ``"kill_grant"``).  When False,
+#: a remote RW grant at a home that still holds the line Modified
+#: revokes with a blunt KILL instead of a FLUSH — the pre-fix bug that
+#: destroys home stores still sitting dirty in L2 before the frame
+#: snapshot, which the explorer re-finds as a regression.  Always True
+#: in normal runs.
+GRANT_PRESERVES_HOME_STORES = True
+
 
 class ScomaState:
     """Per-node S-COMA firmware state."""
@@ -248,7 +257,16 @@ def _grant(sp: "ServiceProcessor", line: int, want_rw: bool, requester: int,
     # Modified L2 line (flushed into the granted bytes below) or misses
     # and queues at the directory behind this grant.
     home_had_rw = cls.state(line) == CLS_RW
-    if want_rw:
+    if not GRANT_PRESERVES_HOME_STORES and data is None and want_rw \
+            and home_had_rw:
+        # behavior model: revoke with a blunt KILL instead of the FLUSH
+        # below — stores still Modified in the home's L2 are destroyed
+        # (a KILL invalidates without a push), so the frame read returns
+        # whatever subset had already been written back
+        yield from _set_own_cls(sp, line, CLS_INVALID, cause="yield_owner",
+                                kill_l2=True)
+        data = yield from fw_dram_read(sp, frame, st.line_bytes, st.staging)
+    elif want_rw:
         yield from _set_own_cls(sp, line, CLS_INVALID, cause="yield_owner",
                                 kill_l2=not home_had_rw)
     elif home_had_rw:

@@ -25,6 +25,12 @@ benchmark share:
            region (the directory-coherence workload; shards=1 only).
 ``shm_hash``   striped-lock shared hash table: every rank inserts,
            then looks its keys back up (shards=1 only).
+``sync_burst`` simultaneous-arrival counting-barrier burst against a
+           deliberately shallow sP service queue — the PR 7 overflow
+           regression shape, sized for the interleaving explorer.
+``shm_takeover`` home-node stores racing a remote exclusive takeover
+           of the same S-COMA line — the PR 9 FLUSH-vs-KILL regression
+           shape (shards=1 only).
 
 The production-traffic scenarios (``traffic_kv``, ``traffic_train``,
 ``traffic_usvc`` — see :mod:`repro.traffic.scenarios`) register here
@@ -429,6 +435,106 @@ class PatternScenario(_CoherentScenario):
                 "ranks": len(out)}
 
 
+class BurstScenario(ShardScenario):
+    """Counting-barrier incast against a shallow sP service queue.
+
+    Every rank enters the barrier at t=0, so the coordinator's service
+    queue sees a simultaneous-arrival burst deeper than itself and the
+    excess diverts to the miss queue.  On current firmware the diverted
+    entries are redelivered and the barrier opens; under the
+    ``overflow_drop`` behavior model (:mod:`repro.explore.models`) they
+    vanish and the barrier hangs — the deadlock watchdog's business.
+    """
+
+    name = "sync_burst"
+
+    def __init__(self, queue_depth: int = 2) -> None:
+        self.queue_depth = queue_depth
+
+    def prepare(self, config: MachineConfig) -> None:
+        if config.shards > 1:
+            raise ConfigError(
+                f"scenario {self.name!r} requires shards=1 (the barrier "
+                f"group spans every node)")
+        config.niu.queue_depth = self.queue_depth
+
+    def setup(self, phase: int, machine, local_nodes, ctx) -> None:
+        n = machine.config.n_nodes
+        bar = machine.sync_fabric().group(
+            range(n), mode="endpoint").barrier(variant="counting")
+        done = ctx.setdefault("done", {})
+
+        def prog(api, rank):
+            yield from bar.wait(api, rank)
+            done[rank] = True
+
+        for rank in local_nodes:
+            machine.spawn(rank, prog, rank)
+
+    def result(self, machine, local_nodes, ctx) -> Dict[str, Any]:
+        done = ctx.get("done", {})
+        return {"done": dict(sorted(done.items())),
+                "all_released": len(done) == machine.config.n_nodes}
+
+
+class TakeoverScenario(_CoherentScenario):
+    """Home-node stores racing a remote exclusive takeover of the line.
+
+    Phase 0: rank 0 (the home) streams single-byte stores into line 0
+    while rank 1 grabs exclusive ownership mid-stream; phase 1 reads the
+    line back.  Every byte has a single writer, so ``ok`` means no store
+    was lost.  On current firmware the grant path revokes-then-FLUSHes;
+    under the ``kill_grant`` behavior model it snapshots-then-KILLs and
+    a Modified home store can vanish.
+    """
+
+    name = "shm_takeover"
+    phases = 2
+
+    def __init__(self, stores: int = 8, gap_ns: float = 150.0,
+                 steal_ns: float = 700.0) -> None:
+        self.stores = stores
+        self.gap_ns = gap_ns
+        self.steal_ns = steal_ns
+
+    def setup(self, phase: int, machine, local_nodes, ctx) -> None:
+        from repro.shm.scoma import ScomaRegion
+
+        if machine.config.n_nodes < 2:
+            raise ConfigError("shm_takeover needs at least 2 nodes")
+        if phase == 0:
+            region = ctx["region"] = ScomaRegion(machine, n_lines=8)
+            region.init_data(0, bytes(region.line_bytes))
+
+            def home_writer(api):
+                for i in range(self.stores):
+                    yield from api.store(region.addr(i), bytes([0xA0 + i]))
+                    yield from api.sleep(self.gap_ns)
+
+            def thief(api):
+                yield from api.sleep(self.steal_ns)
+                yield from api.store(region.addr(self.stores), b"\xbb")
+
+            if 0 in local_nodes:
+                machine.spawn(0, home_writer)
+            if 1 in local_nodes:
+                machine.spawn(1, thief)
+            return
+        if 0 in local_nodes:
+            region = ctx["region"]
+
+            def reader(api):
+                got = yield from api.load(region.addr(0), self.stores + 1)
+                ctx["got"] = bytes(got)
+
+            machine.spawn(0, reader)
+
+    def result(self, machine, local_nodes, ctx) -> Dict[str, Any]:
+        want = bytes(0xA0 + i for i in range(self.stores)) + b"\xbb"
+        got = ctx.get("got", b"")
+        return {"ok": got == want, "got": got.hex(), "want": want.hex()}
+
+
 _REGISTRY = {
     PingScenario.name: PingScenario,
     MixedScenario.name: MixedScenario,
@@ -437,6 +543,8 @@ _REGISTRY = {
     GraphScenario.name: GraphScenario,
     HashScenario.name: HashScenario,
     PatternScenario.name: PatternScenario,
+    BurstScenario.name: BurstScenario,
+    TakeoverScenario.name: TakeoverScenario,
 }
 
 

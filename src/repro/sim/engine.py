@@ -50,6 +50,32 @@ INFINITY = float("inf")
 ScheduledItem = Tuple[float, int, int, Any, Any]
 
 
+class SchedulePolicy:
+    """Chooses which of several same-timestamp items runs next.
+
+    With a policy installed on :attr:`Engine.schedule_policy`, every run
+    loop turns a group of heap entries tied at the minimal timestamp
+    into an explicit *decision point*: the whole tie group is popped (in
+    seq order, so ``ready[0]`` is what the default scheduler would run),
+    :meth:`choose` picks one, and the rest re-enter the heap with their
+    original sequence numbers — their relative order, and their order
+    against items scheduled later, is unchanged.  Items the chosen
+    item's execution schedules at the same instant join the *next*
+    decision point, so a policy sees every racy ordering the seq
+    tie-break normally hides.
+
+    The default policy — always index 0 — replays the engine's native
+    seq order exactly; :mod:`repro.explore` builds DFS exploration and
+    trace replay on top of this hook.
+    """
+
+    __slots__ = ()
+
+    def choose(self, time: float, ready: List[ScheduledItem]) -> int:
+        """Index into ``ready`` (len >= 2) of the item to execute now."""
+        return 0
+
+
 class Engine:
     """Event loop, clock, and factory for events and processes."""
 
@@ -64,6 +90,7 @@ class Engine:
         "drain_hooks",
         "deadlock_dump",
         "process_registry",
+        "schedule_policy",
     )
 
     def __init__(self) -> None:
@@ -92,6 +119,13 @@ class Engine:
         #: when not None, every process created via :meth:`process` is
         #: appended here (the deadlock watchdog's roster).
         self.process_registry: Optional[List[Process]] = None
+        #: optional :class:`SchedulePolicy`: when installed, groups of
+        #: scheduled items tied at one timestamp become explicit decision
+        #: points (see :meth:`_pop_decision`).  ``None`` (the default)
+        #: keeps the plain seq-ordered pop — the byte-identical fast
+        #: path.  Install before calling a run loop: the loops hoist the
+        #: attribute into a local once per call.
+        self.schedule_policy: Optional["SchedulePolicy"] = None
 
     # -- clock -----------------------------------------------------------
 
@@ -156,6 +190,32 @@ class Engine:
         self._seq = seq = self._seq + 1
         heappush(self._heap, (self._now, seq, KIND_CALLBACKS, callbacks, ev))
 
+    def _pop_decision(self, policy: SchedulePolicy) -> ScheduledItem:
+        """Pop the next item through a schedule policy.
+
+        Gathers the whole group tied at the minimal timestamp (popped in
+        seq order), lets ``policy`` choose one, and pushes the rest back
+        unchanged.  A single-item group is not a decision point — the
+        policy never sees it.
+        """
+        heap = self._heap
+        first = heappop(heap)
+        if not heap or heap[0][0] != first[0]:
+            return first
+        ready = [first]
+        while heap and heap[0][0] == first[0]:
+            ready.append(heappop(heap))
+        index = policy.choose(first[0], ready)
+        if not 0 <= index < len(ready):
+            raise SimulationError(
+                f"schedule policy chose index {index} out of "
+                f"{len(ready)} ready items at t={first[0]:.1f}ns"
+            )
+        chosen = ready.pop(index)
+        for item in ready:
+            heappush(heap, item)
+        return chosen
+
     def _note_process_crash(self, proc: Process, exc: BaseException) -> None:
         self._crashes.append((proc, exc))
 
@@ -209,11 +269,17 @@ class Engine:
         """
         heap = self._heap
         crashes = self._crashes
+        policy = self.schedule_policy
         executed = 0
         t0 = perf_counter()
         try:
             while heap and heap[0][0] < until:
-                time, _seq, kind, target, arg = heappop(heap)
+                if policy is None:
+                    time, _seq, kind, target, arg = heappop(heap)
+                else:
+                    # every popped tie shares the first item's timestamp,
+                    # so the whole group satisfies the `< until` guard
+                    time, _seq, kind, target, arg = self._pop_decision(policy)
                 self._now = time
                 executed += 1
                 if kind == 2:  # KIND_CALLBACKS
@@ -278,6 +344,7 @@ class Engine:
             raise SimulationError(f"cannot run until {until} < now {self._now}")
         heap = self._heap
         crashes = self._crashes
+        policy = self.schedule_policy
         executed = 0
         t0 = perf_counter()
         try:
@@ -285,7 +352,10 @@ class Engine:
                 if until is not None and heap[0][0] > until:
                     self._now = until
                     break
-                time, _seq, kind, target, arg = heappop(heap)
+                if policy is None:
+                    time, _seq, kind, target, arg = heappop(heap)
+                else:
+                    time, _seq, kind, target, arg = self._pop_decision(policy)
                 self._now = time
                 executed += 1
                 # Inline dispatch, most frequent kind first.
@@ -325,6 +395,7 @@ class Engine:
         """
         heap = self._heap
         crashes = self._crashes
+        policy = self.schedule_policy
         executed = 0
         t0 = perf_counter()
         try:
@@ -339,7 +410,10 @@ class Engine:
                     raise DeadlockError(msg)
                 if limit is not None and heap[0][0] > limit:
                     raise SimulationError(f"time limit {limit} hit before {ev!r}")
-                time, _seq, kind, target, arg = heappop(heap)
+                if policy is None:
+                    time, _seq, kind, target, arg = heappop(heap)
+                else:
+                    time, _seq, kind, target, arg = self._pop_decision(policy)
                 self._now = time
                 executed += 1
                 if kind == 2:  # KIND_CALLBACKS

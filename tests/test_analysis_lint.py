@@ -184,6 +184,41 @@ def test_det004_applies_everywhere():
 
 
 # ----------------------------------------------------------------------
+# DET005 — heap entries need a seq tie-breaker
+# ----------------------------------------------------------------------
+
+
+def test_det005_bare_priority_tuple_fires():
+    assert rules_of("heapq.heappush(heap, (time, item))\n") == ["DET005"]
+    assert rules_of("heappush(heap, (t, kind, payload))\n") == ["DET005"]
+    assert rules_of("heapq.heappushpop(heap, (t, item))\n") == ["DET005"]
+
+
+def test_det005_seq_element_satisfies():
+    assert rules_of("heapq.heappush(heap, (time, seq, item))\n") == []
+    assert rules_of("heappush(heap, (t, self._seq, ev))\n") == []
+    assert rules_of("heappush(heap, (t, next(seq_counter), ev))\n") == []
+
+
+def test_det005_non_tuple_and_single_element_exempt():
+    # opaque entries and bare priorities can't tie on a payload compare
+    assert rules_of("heapq.heappush(heap, item)\n") == []
+    assert rules_of("heapq.heappush(heap, (t,))\n") == []
+
+
+def test_det005_engine_exempt_tests_covered():
+    src = "heapq.heappush(heap, (time, item))\n"
+    assert rules_of(src, SIM) == []
+    assert rules_of(src, TESTFILE) == ["DET005"]
+
+
+def test_det005_suppressible():
+    src = ("heapq.heappush(heap, (time, item))"
+           "  # repro: allow DET005 -- items are totally ordered\n")
+    assert rules_of(src) == []
+
+
+# ----------------------------------------------------------------------
 # ARCH001 — layering
 # ----------------------------------------------------------------------
 

@@ -307,3 +307,39 @@ def test_sanitizers_do_not_change_results(monkeypatch):
         return result, machine.now, metrics
 
     assert run(()) == run(("all",))
+
+
+def test_oracle_report_resets_between_runs(monkeypatch):
+    """Back-to-back sanitized runs on one machine must report
+    independently: the second report reflects only the second run's
+    activity, not a running total (the explorer's per-schedule oracle
+    depends on this)."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    machine = machine_with("all")
+    pingpong(machine)
+    machine.run()
+    first = machine.sanitizers.oracle_report()
+    pingpong(machine)
+    machine.run()
+    second = machine.sanitizers.oracle_report()
+    assert first["credit"]["acquires"] > 0
+    assert second["credit"]["acquires"] == first["credit"]["acquires"]
+    assert second["queue"]["writes_checked"] == first["queue"]["writes_checked"]
+    # without the reset the second pass would have doubled the totals
+    third = machine.sanitizers.report()
+    assert third["credit"]["acquires"] == 0
+
+
+def test_reset_keeps_live_ledgers(monkeypatch):
+    """reset() zeroes activity counters but must not forget live machine
+    state: credits still held and coherence mirrors survive, so a leak
+    spanning the reset is still caught at the next drain."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    machine = machine_with("credit")
+    pingpong(machine)
+    machine.run()
+    checker = machine.sanitizers.checker("credit")
+    held_before = {lane.name: lane.held for lane in checker.lanes}
+    checker.reset()
+    assert {lane.name: lane.held for lane in checker.lanes} == held_before
+    assert all(lane.acquires == 0 for lane in checker.lanes)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import SimulationError
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, SchedulePolicy
 
 
 def test_time_starts_at_zero(engine):
@@ -113,3 +113,83 @@ def test_zero_delay_timeout_runs(engine):
     ev = engine.timeout(0.0, "now")
     assert engine.run_until_triggered(ev) == "now"
     assert engine.now == 0.0
+
+
+# ----------------------------------------------------------------------
+# the schedule-policy hook
+# ----------------------------------------------------------------------
+
+
+class _Recorder(SchedulePolicy):
+    """Canonical choices, recording every tie group it is offered."""
+
+    def __init__(self):
+        self.groups = []
+
+    def choose(self, time, ready):
+        self.groups.append((time, len(ready)))
+        return 0
+
+
+class _Reverser(SchedulePolicy):
+    """Always pick the last ready item — maximal reordering."""
+
+    def choose(self, time, ready):
+        return len(ready) - 1
+
+
+def _tie_run(policy):
+    eng = Engine()
+    eng.schedule_policy = policy
+    order = []
+    for i in range(4):
+        eng.timeout(10.0).add_callback(lambda _e, i=i: order.append(i))
+    eng.timeout(20.0).add_callback(lambda _e: order.append("late"))
+    eng.run()
+    return order
+
+
+def test_policy_none_is_default_and_canonical():
+    assert Engine().schedule_policy is None
+    assert _tie_run(None) == [0, 1, 2, 3, "late"]
+
+
+def test_base_policy_matches_policy_free_order():
+    # SchedulePolicy's canonical choice must be byte-identical to the
+    # plain heap order, so installing a policy is observable only if it
+    # deviates
+    assert _tie_run(SchedulePolicy()) == _tie_run(None)
+
+
+def test_policy_receives_same_time_groups_only():
+    rec = _Recorder()
+    _tie_run(rec)
+    # one 4-way group at t=10; the lone t=20 item never reaches choose
+    assert (10.0, 4) in rec.groups
+    assert all(t != 20.0 for t, _n in rec.groups)
+
+
+def test_policy_reordering_takes_effect():
+    order = _tie_run(_Reverser())
+    assert order[:4] == [3, 2, 1, 0]
+    assert order[-1] == "late"
+
+
+def test_policy_bad_index_raises():
+    class Bad(SchedulePolicy):
+        def choose(self, time, ready):
+            return len(ready)  # one past the end
+
+    with pytest.raises(SimulationError):
+        _tie_run(Bad())
+
+
+def test_policy_applies_in_run_until_triggered():
+    eng = Engine()
+    eng.schedule_policy = _Reverser()
+    order = []
+    for i in range(3):
+        eng.timeout(5.0).add_callback(lambda _e, i=i: order.append(i))
+    done = eng.timeout(6.0, "done")
+    assert eng.run_until_triggered(done) == "done"
+    assert order == [2, 1, 0]
